@@ -1,0 +1,147 @@
+"""Ablations for the design trade-offs the paper discusses.
+
+Three quantified recommendations:
+
+* **Policy ordering** (s7.1): "because 97% of MTAs perform DNS lookups
+  serially, we recommend that organizations create their policy in such a
+  way that the most frequently used addresses come first."  The ablation
+  measures validation latency for the same sender against a policy with
+  the matching mechanism first vs. last.
+* **Parallel prefetching** (s7.1): the strategy 3% of MTAs use — "might
+  save time in evaluating more complex policies ... serial lookups are
+  more conservative in terms of resources."  The ablation measures both
+  the wall-clock saving and the extra DNS load.
+* **Resolver caching**: repeated validations of the same domain should
+  cost one authoritative round trip, not many; the ablation measures the
+  query amplification without a cache.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.synth import SynthConfig, SynthesizingAuthority
+from repro.dns.rdata import ARecord, SoaRecord, TxtRecord
+from repro.dns.resolver import AuthorityDirectory, Resolver, ResolverConfig
+from repro.dns.server import AuthoritativeServer
+from repro.dns.zone import Zone
+from repro.net.clock import Clock
+from repro.net.latency import LatencyModel
+from repro.net.network import Network
+from repro.spf import SpfConfig, SpfEvaluator
+
+SENDER_IP = "192.0.2.77"
+
+
+def _world():
+    network = Network(LatencyModel(0.02), Clock())  # 40 ms RTT everywhere
+    directory = AuthorityDirectory()
+    zone = Zone("pol.example", soa=SoaRecord("ns1.pol.example", "h.pol.example"))
+    server = AuthoritativeServer([zone])
+    server.attach(network, "198.51.100.53")
+    directory.register("pol.example", "198.51.100.53")
+    return network, directory, zone, server
+
+
+def _chain(zone, name, depth):
+    """An include chain of ``depth`` levels under ``name``."""
+    for level in range(depth):
+        target = "%s%d.pol.example" % (name, level + 1)
+        body = "include:%s ?all" % ("%s%d.pol.example" % (name, level + 2))
+        if level == depth - 1:
+            body = "?all"
+        zone.add(target, TxtRecord("v=spf1 %s" % body))
+
+
+def test_ablation_policy_ordering(benchmark):
+    """Matching mechanism first vs. buried behind an include chain."""
+    network, directory, zone, server = _world()
+    _chain(zone, "c", 8)
+    zone.add("fast.pol.example", TxtRecord("v=spf1 ip4:%s include:c1.pol.example -all" % SENDER_IP))
+    zone.add("slow.pol.example", TxtRecord("v=spf1 include:c1.pol.example ip4:%s -all" % SENDER_IP))
+
+    def evaluate(domain):
+        resolver = Resolver(network, directory, address4="203.0.113.1",
+                            config=ResolverConfig(use_cache=False))
+        evaluator = SpfEvaluator(resolver, SpfConfig(max_dns_mechanisms=None))
+        return evaluator.check_host(SENDER_IP, domain, "u@%s" % domain)
+
+    fast = benchmark(evaluate, "fast.pol.example")
+    slow = evaluate("slow.pol.example")
+    assert fast.result.value == slow.result.value == "pass"
+
+    text = (
+        "policy with matching ip4 FIRST: %5.0f ms, %2d lookups\n"
+        "policy with matching ip4 LAST:  %5.0f ms, %2d lookups\n"
+        "ordering saves %.0f%% of validation latency for the common sender"
+        % (
+            1000 * fast.elapsed, len(fast.lookups),
+            1000 * slow.elapsed, len(slow.lookups),
+            100 * (1 - fast.elapsed / slow.elapsed),
+        )
+    )
+    emit("Ablation: SPF policy ordering (s7.1 recommendation)", text)
+    assert fast.elapsed < slow.elapsed / 3
+    assert len(fast.lookups) < len(slow.lookups)
+
+
+def test_ablation_parallel_prefetch(benchmark):
+    """Serial vs parallel evaluation of a deep policy: latency vs load."""
+    network = Network(LatencyModel(0.02), Clock())
+    directory = AuthorityDirectory()
+    synth = SynthesizingAuthority(SynthConfig())
+    synth.deploy(network, directory)
+    base = "t01.abl%d.%s"
+
+    def evaluate(parallel, tag):
+        resolver = Resolver(network, directory, address4="203.0.113.%d" % (2 + parallel))
+        evaluator = SpfEvaluator(resolver, SpfConfig(parallel_lookups=bool(parallel)))
+        domain = base % (parallel, synth.config.probe_suffix)
+        return evaluator.check_host("203.0.113.250", domain, "u@%s" % domain)
+
+    serial = benchmark(evaluate, 0, "serial")
+    synth.clear_log()
+    parallel = evaluate(1, "parallel")
+    parallel_queries = len(synth.query_log)
+
+    text = (
+        "serial evaluation:   %4.0f ms\n"
+        "parallel prefetch:   %4.0f ms  (%d queries issued)\n"
+        "prefetching trades DNS load for latency, as s7.1 discusses"
+        % (1000 * serial.elapsed, 1000 * parallel.elapsed, parallel_queries)
+    )
+    emit("Ablation: serial vs parallel lookups", text)
+    assert parallel.elapsed < serial.elapsed
+
+
+def test_ablation_resolver_cache(benchmark):
+    """Cache off => every validation hits the authoritative server."""
+    network, directory, zone, server = _world()
+    zone.add("hot.pol.example", TxtRecord("v=spf1 a:mail.pol.example -all"))
+    zone.add("mail.pol.example", ARecord(SENDER_IP))
+
+    def run(with_cache):
+        resolver = Resolver(network, directory, address4="203.0.113.9",
+                            config=ResolverConfig(use_cache=with_cache))
+        evaluator = SpfEvaluator(resolver)
+        server.clear_log()
+        t = 0.0
+        for _ in range(20):
+            outcome = evaluator.check_host(SENDER_IP, "hot.pol.example", "u@hot.pol.example", t_start=t)
+            t = outcome.t_completed + 1.0
+        return len(server.query_log), t
+
+    cached_queries, cached_t = benchmark.pedantic(run, args=(True,), rounds=5)
+    uncached_queries, uncached_t = run(False)
+    text = (
+        "20 validations of one domain:\n"
+        "  with resolver cache:    %3d authoritative queries, %5.1f s virtual\n"
+        "  without resolver cache: %3d authoritative queries, %5.1f s virtual\n"
+        "caching divides authoritative load by %.0fx"
+        % (
+            cached_queries, cached_t, uncached_queries, uncached_t,
+            uncached_queries / max(1, cached_queries),
+        )
+    )
+    emit("Ablation: resolver caching", text)
+    assert cached_queries == 2  # one TXT + one A, ever
+    assert uncached_queries == 40

@@ -1,0 +1,70 @@
+"""Throughput benches for the measurement machinery itself.
+
+Not a paper table — these keep the harness honest about simulation cost:
+one full probe conversation (39 policies) per MTA, and one NotifyEmail
+delivery per domain, both measured per-operation on a small fresh world.
+"""
+
+import pytest
+
+from benchmarks.conftest import SEED
+from repro.core.campaign import NotifyEmailCampaign, ProbeCampaign, Testbed
+from repro.core.datasets import DatasetSpec, generate_universe
+
+
+@pytest.fixture(scope="module")
+def small_testbed():
+    universe = generate_universe(DatasetSpec.notify_email(scale=0.002), seed=SEED + 9)
+    return universe, Testbed(universe, seed=SEED + 10)
+
+
+def test_bench_notify_delivery(benchmark, small_testbed):
+    universe, testbed = small_testbed
+    campaign = NotifyEmailCampaign(testbed)
+    domains = iter(universe.domains * 1000)
+
+    def deliver_one():
+        campaign_result = campaign.run([next(domains)])
+        return campaign_result
+
+    benchmark.pedantic(deliver_one, rounds=20, iterations=1)
+
+
+def test_bench_probe_conversation(benchmark, small_testbed):
+    universe, testbed = small_testbed
+    campaign = ProbeCampaign(testbed, "bench", testids=["t12"])
+    pairs = campaign.eligible_mtas()
+    assert pairs
+    probe = campaign.probe
+    host, rcpt_domain = pairs[0]
+    counter = iter(range(10_000_000))
+
+    def probe_once():
+        return probe.probe(
+            host.ipv4 or host.ipv6,
+            "bench%d" % next(counter),  # fresh mtaid defeats resolver caching
+            "t12",
+            rcpt_domain,
+            float(next(counter)) * 100.0,
+        )
+
+    benchmark.pedantic(probe_once, rounds=30, iterations=1)
+
+
+def test_bench_synth_resolution(benchmark, small_testbed):
+    """Raw synthesizing-server throughput: one UDP query end to end."""
+    from repro.dns import wire
+    from repro.dns.message import Message
+    from repro.dns.rdata import RdataType
+
+    _, testbed = small_testbed
+    synth = testbed.synth
+    query = Message.make_query(
+        "t12.mbench.%s" % testbed.synth_config.probe_suffix, RdataType.TXT, msg_id=7
+    )
+    payload = wire.to_wire(query)
+
+    def resolve_once():
+        return synth.udp_handler(payload, "203.0.113.99", "udp", 0.0)
+
+    benchmark(resolve_once)

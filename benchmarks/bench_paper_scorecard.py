@@ -1,0 +1,40 @@
+"""The headline artefact: every paper statistic vs. its measured value.
+
+Combines all three campaigns into one scorecard (see
+``repro.core.compare.PAPER_REFERENCE`` for the bands) and asserts that at
+least 85% of the statistics land inside their tolerance bands — the
+repository's single-number answer to "does the reproduction hold?".
+"""
+
+from benchmarks.conftest import emit
+from repro.core.compare import (
+    build_scorecard,
+    collect_notify_measurements,
+    collect_probe_measurements,
+)
+
+
+def test_paper_scorecard(benchmark, notify_world, notifymx_world, twoweek_world):
+    notify_universe, _, notify_result, notify_analysis = notify_world
+    mx_universe, _, _, _, mx_probe = notifymx_world
+    twoweek_universe, _, twoweek_probe = twoweek_world
+
+    def build():
+        measured = {}
+        measured.update(collect_notify_measurements(notify_universe, notify_result, notify_analysis))
+        measured.update(collect_probe_measurements(mx_universe, mx_probe, "NotifyMX"))
+        measured.update(collect_probe_measurements(twoweek_universe, twoweek_probe, "TwoWeekMX"))
+        return build_scorecard(measured)
+
+    scorecard = benchmark(build)
+    emit("Scorecard: paper vs measured", scorecard.to_table().render())
+
+    evaluated = scorecard.evaluated
+    assert len(evaluated) == len(scorecard.entries), "every statistic must be measured"
+    misses = [entry for entry in evaluated if not entry.within_band]
+    for entry in misses:
+        print("OUT OF BAND: %s (paper %.1f, measured %.1f)" % (
+            entry.reference.description, entry.reference.paper_value, entry.measured))
+    assert scorecard.hit_rate >= 0.85, "only %d/%d statistics within band" % (
+        scorecard.hits, len(evaluated),
+    )

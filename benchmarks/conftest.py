@@ -1,0 +1,76 @@
+"""Shared campaign fixtures for the benchmark harness.
+
+Each bench regenerates one of the paper's tables or figures.  The three
+campaigns are expensive, so they run once per session and the benches
+share their output.  Scale is controlled with ``REPRO_BENCH_SCALE``
+(default 0.02 — about 530 NotifyEmail domains and 450 TwoWeekMX domains);
+the paper's absolute counts scale linearly, the percentages should not.
+
+Every bench prints its table (run pytest with ``-s`` to see them inline)
+and appends it to ``benchmarks/out/report.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.core import analysis as A
+from repro.core.campaign import (
+    NotifyEmailCampaign,
+    ProbeCampaign,
+    Testbed,
+    apply_reputation_effects,
+)
+from repro.core.datasets import DatasetSpec, generate_universe
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "2021"))
+
+_OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def notify_world():
+    """NotifyEmail universe + campaign output."""
+    universe = generate_universe(DatasetSpec.notify_email(scale=SCALE), seed=SEED)
+    testbed = Testbed(universe, seed=SEED + 1)
+    result = NotifyEmailCampaign(testbed).run()
+    analysis = A.analyze_notify(result)
+    return universe, testbed, result, analysis
+
+
+@pytest.fixture(scope="session")
+def notifymx_world():
+    """The NotifyEmail universe re-probed with soured reputation."""
+    universe = generate_universe(DatasetSpec.notify_email(scale=SCALE), seed=SEED)
+    testbed = Testbed(universe, seed=SEED + 2)
+    notify_result = NotifyEmailCampaign(testbed).run()
+    notify_analysis = A.analyze_notify(notify_result)
+    apply_reputation_effects(universe, seed=SEED + 3)
+    probe_result = ProbeCampaign(testbed, "NotifyMX", start_time=1e7).run()
+    return universe, testbed, notify_result, notify_analysis, probe_result
+
+
+@pytest.fixture(scope="session")
+def twoweek_world():
+    """TwoWeekMX universe + probe campaign output."""
+    universe = generate_universe(DatasetSpec.two_week_mx(scale=SCALE), seed=SEED + 4)
+    testbed = Testbed(universe, seed=SEED + 5)
+    result = ProbeCampaign(testbed, "TwoWeekMX").run()
+    return universe, testbed, result
+
+
+def emit(name: str, text: str) -> None:
+    """Print a bench artefact and persist it under benchmarks/out/."""
+    banner = "\n%s\n%s\n" % ("#" * 72, name)
+    print(banner)
+    print(text)
+    _OUT_DIR.mkdir(exist_ok=True)
+    with open(_OUT_DIR / "report.txt", "a", encoding="utf-8") as handle:
+        handle.write(banner + "\n" + text + "\n")
+    with open(_OUT_DIR / ("%s.txt" % name.split(":")[0].strip().lower().replace(" ", "_")),
+              "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")

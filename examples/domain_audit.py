@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Audit sender-side email-security deployments (paper Section 8 idea).
+
+The paper suggests a self-service tool "for comprehensively assessing SPF,
+DKIM, and DMARC".  This example builds three sender deployments of varying
+quality in a simulated world — a textbook one, a sloppy one, and a
+dangerous one — and runs the assessor against each.
+
+Run:  python examples/domain_audit.py
+"""
+
+from repro.core.assess import assess_domain
+from repro.dkim import KeyRecord, generate_keypair
+from repro.dns import AuthoritativeServer, Resolver, SoaRecord, TxtRecord, Zone
+from repro.dns.rdata import ARecord, MxRecord
+from repro.dns.resolver import AuthorityDirectory
+from repro.net import Clock, Network, UniformLatency
+
+
+def build_world():
+    network = Network(UniformLatency(seed=4), Clock())
+    directory = AuthorityDirectory()
+    keypair = generate_keypair(1024, seed=11)
+    weak_keypair = generate_keypair(512, seed=12)
+
+    zones = []
+
+    # 1. A textbook deployment.
+    good = Zone("textbook.example", soa=SoaRecord("ns1.textbook.example", "h.textbook.example"))
+    good.add("textbook.example", TxtRecord("v=spf1 mx ip4:203.0.113.0/28 -all"))
+    good.add("textbook.example", MxRecord(10, "mx.textbook.example"))
+    good.add("mx.textbook.example", ARecord("203.0.113.1"))
+    good.add(
+        "mail._domainkey.textbook.example",
+        TxtRecord(KeyRecord(public_key_b64=keypair.public.to_base64()).to_text()),
+    )
+    good.add(
+        "_dmarc.textbook.example",
+        TxtRecord("v=DMARC1; p=reject; rua=mailto:dmarc@textbook.example"),
+    )
+    zones.append(good)
+
+    # 2. A sloppy deployment: bloated SPF, weak key, monitor-only DMARC.
+    sloppy = Zone("sloppy.example", soa=SoaRecord("ns1.sloppy.example", "h.sloppy.example"))
+    includes = " ".join("include:svc%d.sloppy.example" % i for i in range(9))
+    sloppy.add("sloppy.example", TxtRecord("v=spf1 %s ptr ~all" % includes))
+    for index in range(9):
+        sloppy.add("svc%d.sloppy.example" % index, TxtRecord("v=spf1 ip4:198.51.100.%d ?all" % index))
+    sloppy.add(
+        "mail._domainkey.sloppy.example",
+        TxtRecord(KeyRecord(public_key_b64=weak_keypair.public.to_base64()).to_text()),
+    )
+    sloppy.add("_dmarc.sloppy.example", TxtRecord("v=DMARC1; p=none; pct=25"))
+    zones.append(sloppy)
+
+    # 3. A dangerous deployment: +all and nothing else.
+    danger = Zone("danger.example", soa=SoaRecord("ns1.danger.example", "h.danger.example"))
+    danger.add("danger.example", TxtRecord("v=spf1 include:gone.danger.example +all"))
+    zones.append(danger)
+
+    server = AuthoritativeServer(zones)
+    server.attach(network, "198.51.100.53")
+    for zone in zones:
+        directory.register(zone.origin.to_text(omit_final_dot=True), "198.51.100.53")
+    return Resolver(network, directory, address4="203.0.113.77")
+
+
+def main():
+    resolver = build_world()
+    t = 0.0
+    for domain in ("textbook.example", "sloppy.example", "danger.example"):
+        assessment, t = assess_domain(resolver, domain, t)
+        print(assessment.to_text())
+        print()
+
+
+if __name__ == "__main__":
+    main()

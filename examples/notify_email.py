@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""A miniature NotifyEmail experiment (paper Sections 4.3.1 and 6.1).
+
+Sends a real, DKIM-signed notification email to every domain in a small
+synthetic universe — each from a unique instrumented From-domain — then
+reads the SPF/DKIM/DMARC validation behaviour of the receiving MTAs off
+the authoritative server's query log and prints Tables 4-7 and Figure 2.
+
+Run:  python examples/notify_email.py [scale]
+      (scale defaults to 0.01 — about 270 domains)
+"""
+
+import sys
+import time
+
+from repro.core import analysis as A
+from repro.core.campaign import NotifyEmailCampaign, Testbed
+from repro.core.datasets import DatasetSpec, generate_universe
+from repro.core.report import render_histogram
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.01
+    started = time.time()
+
+    print("Generating a NotifyEmail universe at scale %.3f ..." % scale)
+    universe = generate_universe(DatasetSpec.notify_email(scale=scale), seed=1)
+    testbed = Testbed(universe, seed=2)
+
+    print("Delivering one signed notification per domain ...")
+    result = NotifyEmailCampaign(testbed).run()
+    accepted = len(result.accepted)
+    print("  %d of %d deliveries accepted with 250" % (accepted, len(result.deliveries)))
+
+    analysis = A.analyze_notify(result)
+    print()
+    print(A.validation_breakdown_table(analysis).render())
+    print()
+    print(A.spf_summary_table([A.notify_email_spf_row(universe, result, analysis)]).render())
+    print()
+    print(A.provider_table(analysis).render())
+    print()
+    print(A.alexa_table(universe, analysis).render())
+    print()
+    timing = A.timing_analysis(result)
+    print(render_histogram(
+        timing.buckets,
+        title="Figure 2: t(SPF) - t(delivery) per-domain averages (n=%d)" % timing.domains_used,
+    ))
+    print("negative: %.0f%% (paper 83%%)   within +/-30 s: %.0f%% (paper 91%%)" % (
+        100 * timing.negative_fraction, 100 * timing.within_30s_fraction))
+
+    print("\nDone in %.1f s." % (time.time() - started))
+
+
+if __name__ == "__main__":
+    main()

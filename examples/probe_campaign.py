@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""A miniature TwoWeekMX experiment, end to end.
+
+Generates a small synthetic domain universe (paper Section 4.1), stands up
+the synthesizing authoritative DNS server (Section 4.5) and a fleet of
+real receiving MTAs, runs the 39-policy SMTP probe against every MTA
+(Section 4.6), and prints the SPF-validation summary and behaviour
+statistics the paper reports in Sections 6.3 and 7.
+
+Run:  python examples/probe_campaign.py [scale]
+      (scale defaults to 0.01 — about 225 domains; 0.05 takes ~15 s)
+"""
+
+import sys
+import time
+
+from repro.core import analysis as A
+from repro.core.campaign import ProbeCampaign, Testbed
+from repro.core.datasets import DatasetSpec, generate_universe
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.01
+    started = time.time()
+
+    print("Generating a TwoWeekMX universe at scale %.3f ..." % scale)
+    universe = generate_universe(DatasetSpec.two_week_mx(scale=scale), seed=7)
+    print(
+        "  %d domains, %d MTAs (%d IPv4 / %d IPv6), %d providers"
+        % (
+            len(universe.domains),
+            len(universe.mtas),
+            len(universe.unique_ipv4),
+            len(universe.unique_ipv6),
+            len(universe.providers),
+        )
+    )
+
+    print("Wiring the testbed (synthesizing DNS + one server per MTA) ...")
+    testbed = Testbed(universe, seed=8)
+
+    print("Probing every MTA with all 39 test policies ...")
+    campaign = ProbeCampaign(testbed, "TwoWeekMX")
+    result = campaign.run()
+    print(
+        "  %d probe conversations, %d attributable DNS queries observed"
+        % (len(result.results), len(result.index))
+    )
+
+    print()
+    rows = [A.probe_spf_row("TwoWeekMX (all)", universe, result)]
+    rows += A.decile_rows(universe, result)
+    table = A.spf_summary_table(rows)
+    mean, stdev = A.decile_consistency(rows[1:])
+    table.notes.append("decile domain-rate mean %.1f%%, stdev %.1f (paper: 13%%, 1.7)" % (mean, stdev))
+    print(table.render())
+
+    print()
+    print(A.behavior_table(A.behavior_stats(result)).render())
+
+    print("\nDone in %.1f s (all SMTP/DNS time was virtual)." % (time.time() - started))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Quickstart: evaluate SPF, DKIM, and DMARC for one message.
+
+Builds a miniature Internet — a virtual network, one authoritative DNS
+server, one resolver — publishes a sender domain's policies, then checks a
+legitimate message and a spoofed one the way a receiving MTA would.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.dkim import DkimSigner, DkimVerifier, KeyRecord, generate_keypair
+from repro.dmarc import DmarcEvaluator
+from repro.dns import (
+    AuthoritativeServer,
+    Resolver,
+    SoaRecord,
+    TxtRecord,
+    Zone,
+)
+from repro.dns.resolver import AuthorityDirectory
+from repro.net import Clock, Network, UniformLatency
+from repro.smtp import EmailMessage
+from repro.spf import SpfEvaluator
+
+LEGIT_IP = "203.0.113.25"
+SPOOF_IP = "198.51.100.66"
+
+
+def build_world():
+    """A network with DNS for ``sender.example`` fully configured."""
+    network = Network(UniformLatency(seed=1), Clock())
+    keypair = generate_keypair(1024, seed=42)
+
+    zone = Zone("sender.example", soa=SoaRecord("ns1.sender.example", "hostmaster.sender.example"))
+    zone.add("sender.example", TxtRecord("v=spf1 ip4:%s -all" % LEGIT_IP))
+    zone.add(
+        "mail._domainkey.sender.example",
+        TxtRecord(KeyRecord(public_key_b64=keypair.public.to_base64()).to_text()),
+    )
+    zone.add("_dmarc.sender.example", TxtRecord("v=DMARC1; p=reject"))
+
+    server = AuthoritativeServer([zone])
+    server.attach(network, "198.51.100.53")
+    directory = AuthorityDirectory()
+    directory.register("sender.example", "198.51.100.53")
+    resolver = Resolver(network, directory, address4="192.0.2.10")
+    return resolver, keypair
+
+
+def check_message(resolver, client_ip, message, t):
+    """What a validating MTA does on receipt: SPF, DKIM, then DMARC."""
+    sender = "alice@sender.example"
+
+    spf = SpfEvaluator(resolver).check_host(client_ip, "sender.example", sender, t_start=t)
+    print("  SPF   : %-9s (matched %s, %d DNS lookups, %.0f ms)" % (
+        spf.result.value, spf.matched_term, len(spf.lookups), 1000 * spf.elapsed))
+
+    dkim, t = DkimVerifier(resolver).verify(message, spf.t_completed)
+    print("  DKIM  : %-9s (d=%s%s)" % (
+        dkim.result.value, dkim.domain, ", " + dkim.reason if dkim.reason else ""))
+
+    dmarc, t = DmarcEvaluator(resolver).evaluate(
+        "sender.example",
+        spf.result.value, "sender.example",
+        dkim.result.value, dkim.domain,
+        t,
+    )
+    print("  DMARC : %-9s -> disposition: %s" % (dmarc.result.value, dmarc.disposition.value))
+    return t
+
+
+def main():
+    resolver, keypair = build_world()
+
+    message = EmailMessage(
+        [
+            ("From", "alice@sender.example"),
+            ("To", "bob@rcpt.example"),
+            ("Subject", "Quarterly report"),
+            ("Date", "Mon, 01 Feb 2021 09:00:00 +0000"),
+            ("Message-ID", "<q1@sender.example>"),
+        ],
+        "Please find the report attached.\r\n",
+    )
+    DkimSigner("sender.example", "mail", keypair.private).sign(message)
+
+    print("Legitimate message from the authorized server (%s):" % LEGIT_IP)
+    t = check_message(resolver, LEGIT_IP, message, 0.0)
+
+    print("\nSpoof: same From, unauthorized server (%s), tampered body:" % SPOOF_IP)
+    spoof = EmailMessage.from_text(message.to_text().replace("report", "invoice"))
+    check_message(resolver, SPOOF_IP, spoof, t)
+
+
+if __name__ == "__main__":
+    main()

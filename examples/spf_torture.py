@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""SPF validator torture chamber.
+
+Runs the paper's hardest test policies directly against SPF evaluators in
+several configurations — RFC-strict, limitless, timeout-bound, parallel —
+and prints what each one does.  This is the single-MTA view of what the
+Figure 5 / Section 7 experiments measure across the whole fleet.
+
+Run:  python examples/spf_torture.py
+"""
+
+from repro.core.policies import t02_query_order
+from repro.core.synth import SynthConfig, SynthesizingAuthority
+from repro.dns.resolver import AuthorityDirectory, Resolver
+from repro.net import Clock, Network, UniformLatency
+from repro.spf import SpfConfig, SpfEvaluator
+
+PROBE_IP = "203.0.113.250"
+
+
+def build_rig():
+    network = Network(UniformLatency(0.004, 0.02, seed=3), Clock())
+    directory = AuthorityDirectory()
+    synth = SynthesizingAuthority(SynthConfig())
+    synth.deploy(network, directory)
+    return network, directory, synth
+
+
+def check(evaluator, domain, t=0.0):
+    return evaluator.check_host(
+        PROBE_IP, domain, "spf-test@%s" % domain, helo="h.%s" % domain, t_start=t
+    )
+
+
+def torture_lookup_limits(network, directory, synth):
+    print("=== t02: the 46-lookup policy (800 ms per response) ===")
+    print("    (Figure 4 / Figure 5: 61%% obey the 10-lookup limit, 28%% run all 46)\n")
+    configs = [
+        ("RFC-strict (limit 10)", SpfConfig()),
+        ("no limits at all", SpfConfig(max_dns_mechanisms=None)),
+        ("no limit, 20 s timeout", SpfConfig(max_dns_mechanisms=None, overall_timeout=20.0)),
+    ]
+    order = t02_query_order()
+    for index, (label, config) in enumerate(configs):
+        mtaid = "torture%d" % index
+        resolver = Resolver(network, directory, address4="203.0.113.%d" % (10 + index))
+        evaluator = SpfEvaluator(resolver, config)
+        outcome = check(evaluator, "t02.%s.spf-test.dns-lab.org" % mtaid)
+        observed = [q for q in synth.queries_under("%s.spf-test.dns-lab.org" % mtaid)]
+        last = max(
+            (order.get(str(e.qname).split(".")[0], 0) for e in observed), default=0
+        )
+        print(
+            "  %-24s -> %-9s after %2d post-base queries, %6.1f s elapsed"
+            % (label, outcome.result.value, last, outcome.elapsed)
+        )
+    print()
+
+
+def torture_serial_parallel(network, directory, synth):
+    print("=== t01: serial vs parallel lookups (Section 7.1) ===\n")
+    for index, (label, config) in enumerate(
+        [("serial (97% of MTAs)", SpfConfig()), ("parallel prefetch (3%)", SpfConfig(parallel_lookups=True))]
+    ):
+        mtaid = "sp%d" % index
+        resolver = Resolver(network, directory, address4="203.0.113.%d" % (30 + index))
+        outcome = check(SpfEvaluator(resolver, config), "t01.%s.spf-test.dns-lab.org" % mtaid)
+        entries = sorted(
+            synth.queries_under("%s.spf-test.dns-lab.org" % mtaid), key=lambda e: e.timestamp
+        )
+        arrival = " -> ".join(str(e.qname).split(".")[0] or "L0" for e in entries)
+        print("  %-24s %s" % (label, arrival))
+    print("  (parallel validators hit 'foo' before the chain bottoms out at l3)\n")
+
+
+def torture_misc(network, directory, synth):
+    print("=== assorted Section 7.3 policies ===\n")
+    cases = [
+        ("t04 syntax error, strict", "t04", SpfConfig()),
+        ("t04 syntax error, tolerant", "t04", SpfConfig(tolerant_syntax=True)),
+        ("t06 five void lookups, strict", "t06", SpfConfig()),
+        ("t06 five void lookups, no limit", "t06", SpfConfig(max_void_lookups=None)),
+        ("t08 duplicate records, strict", "t08", SpfConfig()),
+        ("t08 duplicate records, follow-first", "t08", SpfConfig(on_multiple_records="first")),
+        ("t11 twenty MX targets, strict", "t11", SpfConfig()),
+        ("t11 twenty MX targets, no limit", "t11", SpfConfig(max_mx_addresses=None)),
+        ("t09 TCP-only child policy", "t09", SpfConfig()),
+    ]
+    for index, (label, testid, config) in enumerate(cases):
+        mtaid = "misc%d" % index
+        resolver = Resolver(network, directory, address4="203.0.113.%d" % (50 + index))
+        outcome = check(SpfEvaluator(resolver, config), "%s.%s.spf-test.dns-lab.org" % (testid, mtaid))
+        queries = len(synth.queries_under("%s.spf-test.dns-lab.org" % mtaid))
+        print("  %-36s -> %-9s (%2d queries observed)" % (label, outcome.result.value, queries))
+    print()
+
+
+def main():
+    network, directory, synth = build_rig()
+    torture_lookup_limits(network, directory, synth)
+    torture_serial_parallel(network, directory, synth)
+    torture_misc(network, directory, synth)
+
+
+if __name__ == "__main__":
+    main()

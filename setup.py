@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` works in offline environments lacking the
+``wheel`` package (pip then falls back to ``setup.py develop`` instead of a
+PEP 660 editable wheel).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""Reproduction of "Measuring Email Sender Validation in the Wild" (CoNEXT '21).
+
+The package is organised bottom-up:
+
+``repro.net``
+    A deterministic, single-threaded virtual network: a virtual clock, a
+    latency model, and host/port registries over which the DNS and SMTP
+    substrates exchange real wire bytes.
+
+``repro.dns``
+    A from-scratch DNS implementation: names, rdata types, a full wire codec
+    with name compression, zones, an authoritative server, and a caching
+    resolver with UDP-to-TCP truncation fallback.
+
+``repro.smtp``
+    An SMTP implementation: reply/command grammar, a server-side session
+    state machine, a client, and an RFC 5322-style message model.
+
+``repro.spf`` / ``repro.dkim`` / ``repro.dmarc``
+    The three sender-validation mechanisms the paper studies, implemented
+    per RFC 7208 / RFC 6376 / RFC 7489, each with configurable deviations
+    mirroring the wild behaviours the paper measures.
+
+``repro.mta``
+    Receiving and sending mail-transfer agents, plus a fleet generator that
+    samples behaviour profiles from the distributions the paper reports.
+
+``repro.core``
+    The paper's measurement system itself: the synthesizing authoritative
+    DNS server, the SMTP probe, the 39 SPF test policies, the three
+    campaigns (NotifyEmail, NotifyMX, TwoWeekMX), and the analyses that
+    regenerate every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["net", "dns", "smtp", "spf", "dkim", "dmarc", "mta", "core"]

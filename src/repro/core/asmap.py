@@ -1,0 +1,59 @@
+"""IP-to-AS mapping.
+
+Plays the role of CAIDA's Routeviews prefix-to-AS dataset (paper Section
+4.2): the dataset generator registers every prefix it allocates, and the
+analysis code asks which AS announces a given MTA address.  Lookup is
+longest-prefix-match over the registered networks.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+_Network = Union[ipaddress.IPv4Network, ipaddress.IPv6Network]
+
+
+@dataclass(frozen=True)
+class AsInfo:
+    """One autonomous system."""
+
+    asn: int
+    name: str
+
+    def __str__(self) -> str:
+        return "AS%d (%s)" % (self.asn, self.name)
+
+
+class AsMap:
+    """Longest-prefix-match registry of announced prefixes."""
+
+    def __init__(self) -> None:
+        self._v4: Dict[str, AsInfo] = {}
+        self._v6: Dict[str, AsInfo] = {}
+
+    def announce(self, prefix: str, asn: int, name: str) -> AsInfo:
+        """Register ``prefix`` (CIDR text) as announced by ``asn``."""
+        network = ipaddress.ip_network(prefix, strict=True)
+        info = AsInfo(asn, name)
+        table = self._v6 if network.version == 6 else self._v4
+        table[str(network)] = info
+        return info
+
+    def lookup(self, address: str) -> Optional[AsInfo]:
+        """The AS announcing the most specific covering prefix, if any."""
+        parsed = ipaddress.ip_address(address)
+        if parsed.version == 4:
+            table, max_prefix = self._v4, 32
+        else:
+            table, max_prefix = self._v6, 128
+        for prefix_length in range(max_prefix, -1, -1):
+            network = ipaddress.ip_network("%s/%d" % (parsed, prefix_length), strict=False)
+            info = table.get(str(network))
+            if info is not None:
+                return info
+        return None
+
+    def __len__(self) -> int:
+        return len(self._v4) + len(self._v6)

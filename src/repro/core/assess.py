@@ -1,0 +1,366 @@
+"""Sender-deployment assessment (the paper's Section 8 suggestion).
+
+    "An idea for strengthening the methodology would be to make a
+    Web-based tool available for comprehensively assessing SPF, DKIM, and
+    DMARC and invite users with legitimate addresses to try the tool."
+
+This module is that assessor's engine: point it at a domain (through any
+resolver in the simulated world) and it audits the *sender side* of the
+three mechanisms — record presence, syntax, the RFC 7208 processing
+limits a policy will cost its validators, DKIM key health, and DMARC
+policy strength — then grades the deployment.
+
+Complementary to the measurement system: campaigns measure *validators*,
+the assessor audits *publishers*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.dkim.errors import DkimError
+from repro.dkim.rsa import RsaPublicKey
+from repro.dkim.signature import KeyRecord
+from repro.dmarc.record import DmarcPolicy, DmarcRecord, DmarcRecordError, looks_like_dmarc
+from repro.dns.rdata import RdataType
+from repro.dns.resolver import Resolver
+from repro.spf.errors import SpfSyntaxError
+from repro.spf.parser import parse_record
+from repro.spf.terms import MechanismKind, Qualifier, looks_like_spf
+
+
+class Severity(enum.IntEnum):
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+
+@dataclass
+class Finding:
+    """One audit observation."""
+
+    severity: Severity
+    mechanism: str  # "spf" | "dkim" | "dmarc"
+    message: str
+
+    def __str__(self) -> str:
+        return "[%s] %s: %s" % (self.severity.name, self.mechanism, self.message)
+
+
+@dataclass
+class SpfAudit:
+    record: Optional[str] = None
+    findings: List[Finding] = field(default_factory=list)
+    lookup_terms: int = 0
+    resolved_lookups: int = 0
+    void_lookups: int = 0
+    terminal_qualifier: Optional[str] = None
+
+
+@dataclass
+class DkimAudit:
+    selector_records: List[Tuple[str, Optional[str]]] = field(default_factory=list)
+    findings: List[Finding] = field(default_factory=list)
+    usable_keys: int = 0
+
+
+@dataclass
+class DmarcAudit:
+    record: Optional[str] = None
+    findings: List[Finding] = field(default_factory=list)
+    policy: Optional[DmarcPolicy] = None
+
+
+@dataclass
+class DomainAssessment:
+    """The full audit of one sender domain."""
+
+    domain: str
+    spf: SpfAudit
+    dkim: DkimAudit
+    dmarc: DmarcAudit
+
+    @property
+    def findings(self) -> List[Finding]:
+        return self.spf.findings + self.dkim.findings + self.dmarc.findings
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.severity is Severity.ERROR]
+
+    @property
+    def grade(self) -> str:
+        """A-F: A = all three deployed cleanly with an enforcing DMARC."""
+        has_spf = self.spf.record is not None and not any(
+            finding.severity is Severity.ERROR for finding in self.spf.findings
+        )
+        has_dkim = self.dkim.usable_keys > 0
+        has_dmarc = self.dmarc.policy is not None
+        enforcing = self.dmarc.policy in (DmarcPolicy.REJECT, DmarcPolicy.QUARANTINE)
+        deployed = sum([has_spf, has_dkim, has_dmarc])
+        if deployed == 3 and enforcing and not self.errors:
+            return "A"
+        if deployed == 3:
+            return "B"
+        if deployed == 2:
+            return "C"
+        if deployed == 1:
+            return "D"
+        return "F"
+
+    def to_text(self) -> str:
+        lines = ["Assessment for %s — grade %s" % (self.domain, self.grade)]
+        lines.append("  SPF   : %s" % (self.spf.record or "(no record)"))
+        if self.spf.record:
+            lines.append(
+                "          %d DNS-lookup terms (static), %d lookups / %d void when resolved"
+                % (self.spf.lookup_terms, self.spf.resolved_lookups, self.spf.void_lookups)
+            )
+        keys = ", ".join(selector for selector, record in self.dkim.selector_records if record)
+        lines.append("  DKIM  : %s" % (keys or "(no keys found)"))
+        lines.append("  DMARC : %s" % (self.dmarc.record or "(no record)"))
+        for finding in self.findings:
+            lines.append("  %s" % finding)
+        return "\n".join(lines)
+
+
+#: Selectors the assessor tries when the caller does not supply any —
+#: the usual suspects across large mail platforms.
+DEFAULT_SELECTORS = ("default", "mail", "selector1", "selector2", "sel", "s1", "dkim", "google", "k1")
+
+
+def lint_spf_record(text: str) -> Tuple[List[Finding], int, Optional[str]]:
+    """Static analysis of one SPF record.
+
+    Returns (findings, dns-lookup-term count, terminal qualifier).
+    """
+    findings: List[Finding] = []
+    try:
+        record = parse_record(text, tolerant=True)
+    except SpfSyntaxError as exc:
+        return [Finding(Severity.ERROR, "spf", "unparseable record: %s" % exc)], 0, None
+
+    for invalid in record.invalid_terms:
+        findings.append(
+            Finding(Severity.ERROR, "spf", "syntax error in term %r (%s)" % (invalid.text, invalid.reason))
+        )
+
+    lookup_terms = sum(
+        1 for term in record.directives if term.mechanism.kind.consumes_dns_lookup
+    )
+    if record.modifier("redirect") is not None:
+        lookup_terms += 1
+    if lookup_terms > 10:
+        findings.append(
+            Finding(
+                Severity.ERROR,
+                "spf",
+                "%d DNS-lookup terms; RFC 7208 caps evaluation at 10 (permerror)" % lookup_terms,
+            )
+        )
+    elif lookup_terms > 7:
+        findings.append(
+            Finding(
+                Severity.WARNING,
+                "spf",
+                "%d DNS-lookup terms; nested includes can push past the limit of 10" % lookup_terms,
+            )
+        )
+
+    terminal: Optional[str] = None
+    directives = record.directives
+    for index, directive in enumerate(directives):
+        kind = directive.mechanism.kind
+        if kind is MechanismKind.PTR:
+            findings.append(
+                Finding(Severity.WARNING, "spf", "'ptr' is slow and unreliable; RFC 7208 says do not use")
+            )
+        if kind is MechanismKind.ALL:
+            terminal = directive.qualifier.value
+            if directive.qualifier is Qualifier.PASS:
+                findings.append(
+                    Finding(Severity.ERROR, "spf", "'+all' authorizes the entire Internet")
+                )
+            if index != len(directives) - 1:
+                findings.append(
+                    Finding(Severity.WARNING, "spf", "mechanisms after 'all' are never evaluated")
+                )
+    if terminal is None and record.modifier("redirect") is None:
+        findings.append(
+            Finding(
+                Severity.WARNING,
+                "spf",
+                "no terminal 'all' or redirect=; unmatched senders default to neutral",
+            )
+        )
+    if record.modifier("redirect") is not None and terminal is not None:
+        findings.append(
+            Finding(Severity.WARNING, "spf", "redirect= is ignored when 'all' is present")
+        )
+    return findings, lookup_terms, terminal
+
+
+def assess_domain(
+    resolver: Resolver,
+    domain: str,
+    t: float = 0.0,
+    selectors: Tuple[str, ...] = DEFAULT_SELECTORS,
+) -> Tuple[DomainAssessment, float]:
+    """Audit ``domain``'s sender-side deployment through ``resolver``."""
+    spf, t = _assess_spf(resolver, domain, t)
+    dkim, t = _assess_dkim(resolver, domain, selectors, t)
+    dmarc, t = _assess_dmarc(resolver, domain, t)
+    return DomainAssessment(domain=domain, spf=spf, dkim=dkim, dmarc=dmarc), t
+
+
+def _assess_spf(resolver: Resolver, domain: str, t: float) -> Tuple[SpfAudit, float]:
+    audit = SpfAudit()
+    answer, t = resolver.query_at(domain, RdataType.TXT, t)
+    if answer.status.is_error:
+        audit.findings.append(Finding(Severity.ERROR, "spf", "TXT lookup failed (%s)" % answer.status.value))
+        return audit, t
+    spf_texts = [text for text in answer.texts() if looks_like_spf(text)]
+    if not spf_texts:
+        audit.findings.append(Finding(Severity.ERROR, "spf", "no SPF record published"))
+        return audit, t
+    if len(spf_texts) > 1:
+        audit.findings.append(
+            Finding(Severity.ERROR, "spf", "%d SPF records published; validators must permerror" % len(spf_texts))
+        )
+    audit.record = spf_texts[0]
+    findings, lookup_terms, terminal = lint_spf_record(audit.record)
+    audit.findings.extend(findings)
+    audit.lookup_terms = lookup_terms
+    audit.terminal_qualifier = terminal
+    if terminal == "?":
+        audit.findings.append(
+            Finding(Severity.WARNING, "spf", "terminal '?all' asserts nothing; spoofed mail is neutral")
+        )
+
+    # Dynamic pass: resolve the record's lookup terms and count voids —
+    # the costs a validator will actually pay.
+    try:
+        record = parse_record(audit.record, tolerant=True)
+    except SpfSyntaxError:
+        return audit, t
+    for term in record.directives:
+        mechanism = term.mechanism
+        if not mechanism.kind.consumes_dns_lookup or mechanism.domain_spec is None:
+            continue
+        if "%" in mechanism.domain_spec:
+            continue  # macros depend on the message; skip statically
+        rdtype = {
+            MechanismKind.MX: RdataType.MX,
+            MechanismKind.INCLUDE: RdataType.TXT,
+        }.get(mechanism.kind, RdataType.A)
+        child, t = resolver.query_at(mechanism.domain_spec, rdtype, t)
+        audit.resolved_lookups += 1
+        if child.status.is_void:
+            audit.void_lookups += 1
+            audit.findings.append(
+                Finding(
+                    Severity.WARNING,
+                    "spf",
+                    "%s target %s does not resolve (void lookup)"
+                    % (mechanism.kind.value, mechanism.domain_spec),
+                )
+            )
+        if mechanism.kind is MechanismKind.INCLUDE and child.status.value == "success":
+            child_spf = [text for text in child.texts() if looks_like_spf(text)]
+            if not child_spf:
+                audit.findings.append(
+                    Finding(
+                        Severity.ERROR,
+                        "spf",
+                        "include:%s has no SPF record; evaluation permerrors" % mechanism.domain_spec,
+                    )
+                )
+    if audit.void_lookups > 2:
+        audit.findings.append(
+            Finding(
+                Severity.ERROR,
+                "spf",
+                "%d void lookups; RFC 7208 permits two" % audit.void_lookups,
+            )
+        )
+    return audit, t
+
+
+def _assess_dkim(
+    resolver: Resolver, domain: str, selectors: Tuple[str, ...], t: float
+) -> Tuple[DkimAudit, float]:
+    audit = DkimAudit()
+    for selector in selectors:
+        qname = "%s._domainkey.%s" % (selector, domain)
+        answer, t = resolver.query_at(qname, RdataType.TXT, t)
+        texts = answer.texts()
+        if not texts:
+            audit.selector_records.append((selector, None))
+            continue
+        audit.selector_records.append((selector, texts[0]))
+        try:
+            key_record = KeyRecord.from_text(texts[0])
+            if key_record.revoked:
+                audit.findings.append(
+                    Finding(Severity.WARNING, "dkim", "selector %r key is revoked (p=)" % selector)
+                )
+                continue
+            public_key = RsaPublicKey.from_base64(key_record.public_key_b64)
+        except DkimError as exc:
+            audit.findings.append(
+                Finding(Severity.ERROR, "dkim", "selector %r key unusable: %s" % (selector, exc))
+            )
+            continue
+        audit.usable_keys += 1
+        bits = public_key.n.bit_length()
+        if bits < 1024:
+            audit.findings.append(
+                Finding(Severity.ERROR, "dkim", "selector %r key only %d bits" % (selector, bits))
+            )
+        elif bits < 2048:
+            audit.findings.append(
+                Finding(
+                    Severity.INFO,
+                    "dkim",
+                    "selector %r key is %d bits; 2048 recommended" % (selector, bits),
+                )
+            )
+    if audit.usable_keys == 0:
+        audit.findings.append(
+            Finding(Severity.ERROR, "dkim", "no usable DKIM key found under any common selector")
+        )
+    return audit, t
+
+
+def _assess_dmarc(resolver: Resolver, domain: str, t: float) -> Tuple[DmarcAudit, float]:
+    audit = DmarcAudit()
+    answer, t = resolver.query_at("_dmarc.%s" % domain, RdataType.TXT, t)
+    texts = [text for text in answer.texts() if looks_like_dmarc(text)]
+    if not texts:
+        audit.findings.append(Finding(Severity.ERROR, "dmarc", "no DMARC record published"))
+        return audit, t
+    if len(texts) > 1:
+        audit.findings.append(Finding(Severity.ERROR, "dmarc", "multiple DMARC records"))
+        return audit, t
+    audit.record = texts[0]
+    try:
+        record = DmarcRecord.from_text(texts[0])
+    except DmarcRecordError as exc:
+        audit.findings.append(Finding(Severity.ERROR, "dmarc", "unparseable record: %s" % exc))
+        return audit, t
+    audit.policy = record.policy
+    if record.policy is DmarcPolicy.NONE:
+        audit.findings.append(
+            Finding(Severity.WARNING, "dmarc", "p=none monitors but never protects")
+        )
+    if record.percent < 100:
+        audit.findings.append(
+            Finding(Severity.WARNING, "dmarc", "pct=%d leaves some spoofed mail unfiltered" % record.percent)
+        )
+    if not record.rua:
+        audit.findings.append(
+            Finding(Severity.INFO, "dmarc", "no rua= aggregate-report address; you fly blind")
+        )
+    return audit, t

@@ -1,0 +1,295 @@
+"""Campaign runners: the paper's three experiments, end to end.
+
+A :class:`Testbed` stands up the whole world: the virtual network, the
+synthesizing authoritative server and its suffix delegations, DNS for the
+generated domain universe, and one real :class:`~repro.mta.receiver.
+ReceivingMta` per MTA host.  On top of it:
+
+* :class:`NotifyEmailCampaign` sends a legitimate, DKIM-signed
+  notification email to every domain (Section 4.3.1 / 6.1);
+* :class:`ProbeCampaign` runs the Section 4.6 probe against every MTA for
+  every test policy — used for both NotifyMX and TwoWeekMX.
+
+Both campaigns leave their evidence in the synthesizing server's query
+log; analyses never look inside the MTAs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.datasets import Domain, MtaHost, Universe
+from repro.core.policies import POLICIES
+from repro.core.probe import ProbeClient, ProbeResult
+from repro.core.querylog import AttributedQuery, QueryIndex, attribute_queries
+from repro.core.synth import SynthConfig, SynthesizingAuthority
+from repro.dkim.rsa import generate_keypair
+from repro.dkim.sign import DkimSigner
+from repro.dns.rdata import AAAARecord, ARecord, MxRecord, PtrRecord, SoaRecord
+from repro.dns.resolver import AuthorityDirectory
+from repro.dns.server import AuthoritativeServer
+from repro.dns.zone import Zone
+from repro.mta.receiver import ReceivingMta
+from repro.mta.sender import DeliveryRecord, SendingMta
+from repro.net.clock import Clock
+from repro.net.latency import UniformLatency
+from repro.net.network import Network
+from repro.smtp.message import EmailMessage
+
+SENDER_IPV4 = "203.0.113.250"
+SENDER_IPV6 = "2001:db8:fe::250"
+UNIVERSE_DNS_IP = "198.51.100.99"
+
+
+def apply_reputation_effects(
+    universe: Universe,
+    seed: int = 0,
+    p_spam: float = 0.27,
+    p_blacklist: float = 0.03,
+) -> None:
+    """Sour the probe's sender reputation (Section 6.2).
+
+    The NotifyMX experiment ran nine months after NotifyEmail, by which
+    time the measurement address had landed on DNSBLs: 27% of MTAs
+    rejected citing spam and 3% citing a blacklist.  Apply this to a
+    universe *before* building the Testbed for a NotifyMX-style campaign.
+    """
+    rng = random.Random(seed)
+    for host in universe.mtas:
+        roll = rng.random()
+        if roll < p_spam:
+            host.behavior.blacklist_rejection = "spam"
+        elif roll < p_spam + p_blacklist:
+            host.behavior.blacklist_rejection = "blacklist"
+
+
+class Testbed:
+    """A fully wired simulated Internet for one universe."""
+
+    __test__ = False  # not a pytest test class, despite the name
+
+    def __init__(self, universe: Universe, seed: int = 0) -> None:
+        self.universe = universe
+        self.seed = seed
+        self.clock = Clock()
+        self.network = Network(UniformLatency(0.004, 0.045, seed=seed), self.clock)
+        self.directory = AuthorityDirectory()
+        self.keypair = generate_keypair(1024, seed=seed + 4242)
+        self.synth_config = SynthConfig(
+            probe_ipv4=SENDER_IPV4,
+            probe_ipv6=SENDER_IPV6,
+            sender_ips=(SENDER_IPV4, SENDER_IPV6),
+            dkim_key_b64=self.keypair.public.to_base64(),
+        )
+        self.synth = SynthesizingAuthority(self.synth_config)
+        self.synth.deploy(self.network, self.directory)
+        self.receivers: Dict[str, ReceivingMta] = {}
+        self._deploy_universe_dns()
+        self._deploy_receivers()
+
+    # -- world building -------------------------------------------------
+
+    def _deploy_universe_dns(self) -> None:
+        """One catch-all zone serving MX/A/AAAA for the whole universe,
+        plus the probe host's reverse records (for ptr test policies)."""
+        zone = Zone("", soa=SoaRecord("ns1.universe.test", "hostmaster.universe.test"))
+        for domain in self.universe.domains:
+            for index, host in enumerate(domain.mta_hosts):
+                zone.add(domain.name, MxRecord(10 * (index + 1), host.hostname))
+        for host in self.universe.mtas:
+            if host.ipv4:
+                zone.add(host.hostname, ARecord(host.ipv4))
+            if host.ipv6:
+                zone.add(host.hostname, AAAARecord(host.ipv6))
+        # Reverse DNS for the probe/sender host.
+        import ipaddress
+
+        for address in (SENDER_IPV4, SENDER_IPV6):
+            pointer = ipaddress.ip_address(address).reverse_pointer
+            zone.add(pointer, PtrRecord("probe.dns-lab.org"))
+        zone.add("probe.dns-lab.org", ARecord(SENDER_IPV4))
+        zone.add("probe.dns-lab.org", AAAARecord(SENDER_IPV6))
+        self.universe_zone = zone
+        server = AuthoritativeServer([zone])
+        server.attach(self.network, UNIVERSE_DNS_IP)
+        self.universe_dns = server
+        # Root registration: the fallback for everything that is not one
+        # of the measurement suffixes.
+        self.directory.register("", UNIVERSE_DNS_IP)
+
+    def _deploy_receivers(self) -> None:
+        for host in self.universe.mtas:
+            receiver = ReceivingMta(
+                host.hostname,
+                self.network,
+                self.directory,
+                behavior=host.behavior,
+                ipv4=host.ipv4,
+                ipv6=host.ipv6,
+            )
+            receiver.attach()
+            self.receivers[host.mtaid] = receiver
+
+    # -- log access ------------------------------------------------------
+
+    def attributed_queries(self) -> List[AttributedQuery]:
+        return attribute_queries(self.synth.query_log, self.synth_config)
+
+    def query_index(self) -> QueryIndex:
+        return QueryIndex(self.attributed_queries())
+
+
+@dataclass
+class NotifyDelivery:
+    """One NotifyEmail delivery and its identifiers."""
+
+    domain: Domain
+    from_domain: str
+    delivery: DeliveryRecord
+
+
+@dataclass
+class NotifyEmailResult:
+    deliveries: List[NotifyDelivery]
+    index: QueryIndex
+
+    @property
+    def accepted(self) -> List[NotifyDelivery]:
+        return [d for d in self.deliveries if d.delivery.accepted_with_250]
+
+
+class NotifyEmailCampaign:
+    """Sends one legitimate signed notification per domain (Section 6.1)."""
+
+    def __init__(self, testbed: Testbed, spacing: float = 2.0, start_time: float = 0.0) -> None:
+        self.testbed = testbed
+        self.spacing = spacing
+        self.start_time = start_time
+
+    def _message(self, from_address: str, to_address: str, t: float) -> EmailMessage:
+        return EmailMessage(
+            [
+                ("From", from_address),
+                ("To", to_address),
+                # The Reply-To contact of Section 5.3.
+                ("Reply-To", "research@dns-lab.org"),
+                ("Subject", "Notification: source address validation issue in your network"),
+                ("Date", "Thu, 01 Oct 2020 12:%02d:%02d +0000" % (int(t) // 60 % 60, int(t) % 60)),
+                ("Message-ID", "<%d.%s>" % (int(t * 1000), from_address.split("@")[1])),
+            ],
+            "Dear network operator,\r\n\r\n"
+            "During a recent measurement study we observed that your network\r\n"
+            "does not enforce destination-side source address validation.\r\n"
+            "Details and remediation guidance: https://dns-lab.org/dsav\r\n\r\n"
+            "To opt out of future notifications, reply to this message.\r\n",
+        )
+
+    def run(self, domains: Optional[Sequence[Domain]] = None) -> NotifyEmailResult:
+        testbed = self.testbed
+        if domains is None:
+            domains = testbed.universe.domains
+        deliveries: List[NotifyDelivery] = []
+        t = self.start_time
+        for domain in domains:
+            from_domain = "%s.%s" % (domain.domainid, testbed.synth_config.notify_suffix)
+            sender = SendingMta(
+                "probe.dns-lab.org",
+                testbed.network,
+                testbed.directory,
+                ipv4=SENDER_IPV4,
+                ipv6=SENDER_IPV6,
+                signer=DkimSigner(from_domain, "sel", testbed.keypair.private),
+            )
+            from_address = "spf-test@%s" % from_domain
+            to_address = "operator@%s" % domain.name
+            message = self._message(from_address, to_address, t)
+            record, _ = sender.send(message, from_address, to_address, t)
+            deliveries.append(NotifyDelivery(domain, from_domain, record))
+            t += self.spacing
+        return NotifyEmailResult(deliveries, testbed.query_index())
+
+
+@dataclass
+class ProbeCampaignResult:
+    name: str
+    results: List[ProbeResult]
+    index: QueryIndex
+    #: mtaid -> MtaHost actually probed.
+    probed: Dict[str, MtaHost] = field(default_factory=dict)
+    #: mtaid -> recipient domain used.
+    recipient_domain: Dict[str, str] = field(default_factory=dict)
+
+    def results_for(self, mtaid: str) -> List[ProbeResult]:
+        return [r for r in self.results if r.mtaid == mtaid]
+
+
+class ProbeCampaign:
+    """Runs the 39-policy probe against every MTA (Sections 6.2, 6.3)."""
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        name: str,
+        testids: Optional[Sequence[str]] = None,
+        sleep_seconds: float = 15.0,
+        stagger: float = 1.0,
+        start_time: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.testbed = testbed
+        self.name = name
+        self.testids = list(testids) if testids is not None else [p.testid for p in POLICIES]
+        self.stagger = stagger
+        self.start_time = start_time
+        self.seed = seed
+        self.probe = ProbeClient(
+            testbed.network, testbed.synth_config, sleep_seconds=sleep_seconds
+        )
+
+    def eligible_mtas(self) -> List[Tuple[MtaHost, str]]:
+        """(host, recipient_domain) pairs: every MTA with a usable address,
+        paired with one of the domains that designates it (Section 5.2)."""
+        universe = self.testbed.universe
+        recipient: Dict[str, str] = {}
+        for domain in universe.domains:
+            if domain.resolution_failed:
+                continue
+            for host in domain.mta_hosts:
+                recipient.setdefault(host.mtaid, domain.name)
+        pairs = []
+        for host in universe.mtas:
+            if host.mtaid in recipient and (host.ipv4 or host.ipv6):
+                pairs.append((host, recipient[host.mtaid]))
+        return pairs
+
+    def run(self, limit_mtas: Optional[int] = None) -> ProbeCampaignResult:
+        rng = random.Random(self.seed)
+        pairs = self.eligible_mtas()
+        rng.shuffle(pairs)  # Section 5.2: decorrelate same-domain MTAs
+        if limit_mtas is not None:
+            pairs = pairs[:limit_mtas]
+        results: List[ProbeResult] = []
+        probed: Dict[str, MtaHost] = {}
+        recipients: Dict[str, str] = {}
+        t_base = self.start_time
+        for host, rcpt_domain in pairs:
+            probed[host.mtaid] = host
+            recipients[host.mtaid] = rcpt_domain
+            address = host.ipv4 or host.ipv6
+            t = t_base
+            order = list(self.testids)
+            rng.shuffle(order)
+            for testid in order:
+                result, t = self.probe.probe(address, host.mtaid, testid, rcpt_domain, t)
+                results.append(result)
+                t += self.probe.sleep_seconds
+            t_base += self.stagger
+        return ProbeCampaignResult(
+            name=self.name,
+            results=results,
+            index=self.testbed.query_index(),
+            probed=probed,
+            recipient_domain=recipients,
+        )

@@ -1,0 +1,214 @@
+"""Validator fingerprinting (the paper's Section 8 future work).
+
+    "Among our planned future work is to more fully analyze the results of
+    each individual test policy ... The collective set of behaviors might
+    be used to classify and even fingerprint an SPF validator
+    implementation, to learn how many distinct implementations are
+    deployed."
+
+This module implements that idea: each MTA's observable behaviour across
+the test policies is folded into a discrete feature vector, identical
+vectors are clustered, and the cluster structure estimates how many
+distinct validator implementations (or configurations) are deployed.
+
+Like everything in :mod:`repro.core`, the features are computed purely
+from the authoritative server's query log.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import classify
+from repro.core.campaign import ProbeCampaignResult
+from repro.core.querylog import QueryIndex
+from repro.core.report import Table
+
+#: Feature names in vector order.
+FEATURES: Tuple[str, ...] = (
+    "lookup_order",  # t01: serial / parallel
+    "lookup_limit",  # t02: <=10 / partial / all46
+    "helo_check",  # t03
+    "syntax_main",  # t04: stops / continues
+    "syntax_child",  # t05
+    "void_budget",  # t06: <=2 / 3 / 4 / 5
+    "mx_fallback",  # t07
+    "multiple_records",  # t08: neither / one / both
+    "tcp_fallback",  # t09
+    "ipv6",  # t10
+    "mx_addr_limit",  # t11: <=10 / partial / all20
+    "exp_fetch",  # t22
+    "redirect_after_all",  # t32
+    "ip_macro",  # t20
+)
+
+
+@dataclass(frozen=True)
+class BehaviorVector:
+    """One MTA's discrete behaviour profile across the test policies.
+
+    ``None`` feature values mean "not observable for this MTA" (it did
+    not validate the relevant policy); two MTAs only match if their
+    observable features agree exactly.
+    """
+
+    values: Tuple[Optional[str], ...]
+
+    def feature(self, name: str) -> Optional[str]:
+        return self.values[FEATURES.index(name)]
+
+    @property
+    def observed_features(self) -> int:
+        return sum(1 for value in self.values if value is not None)
+
+    def to_text(self) -> str:
+        return ",".join(
+            "%s=%s" % (name, value)
+            for name, value in zip(FEATURES, self.values)
+            if value is not None
+        )
+
+
+def behavior_vector(mtaid: str, index: QueryIndex) -> BehaviorVector:
+    """Fold one MTA's per-policy behaviours into a feature vector."""
+    values: List[Optional[str]] = []
+
+    t01 = index.for_pair(mtaid, "t01")
+    order = classify.classify_serial_parallel(mtaid, t01).parallel
+    values.append(None if order is None else ("parallel" if order else "serial"))
+
+    t02 = classify.classify_lookup_limit(mtaid, index.for_pair(mtaid, "t02"))
+    if t02 is None or t02.queries_issued == 0:
+        values.append(None)
+    elif t02.queries_issued <= 10:
+        values.append("<=10")
+    elif t02.queries_issued >= 46:
+        values.append("all46")
+    else:
+        values.append("partial")
+
+    t03 = classify.classify_helo(mtaid, index.for_pair(mtaid, "t03"))
+    values.append("yes" if t03.checked_helo else ("no" if t03.proceeded_to_mail_domain else None))
+
+    for testid in ("t04", "t05"):
+        queries = index.for_pair(mtaid, testid)
+        if not classify.spf_validated(queries):
+            values.append(None)
+        else:
+            values.append("continues" if classify.continued_past_error(queries) else "stops")
+
+    t06 = index.for_pair(mtaid, "t06")
+    if not classify.spf_validated(t06):
+        values.append(None)
+    else:
+        values.append(str(min(classify.count_void_targets(t06), 5)))
+
+    fallback = classify.did_mx_fallback(index.for_pair(mtaid, "t07"))
+    values.append(None if fallback is None else ("yes" if fallback else "no"))
+
+    t08 = index.for_pair(mtaid, "t08")
+    if not classify.spf_validated(t08):
+        values.append(None)
+    else:
+        values.append(classify.classify_multiple_records(mtaid, t08).category)
+
+    t09 = classify.classify_tcp_fallback(mtaid, index.for_pair(mtaid, "t09"))
+    values.append(None if not t09.tried_udp else ("yes" if t09.retried_tcp else "no"))
+
+    ipv6 = classify.retrieved_over_ipv6(index.for_pair(mtaid, "t10"))
+    values.append(None if ipv6 is None else ("yes" if ipv6 else "no"))
+
+    mx_count = classify.count_mx_address_lookups(index.for_pair(mtaid, "t11"))
+    if mx_count is None:
+        values.append(None)
+    elif mx_count <= 10:
+        values.append("<=10")
+    elif mx_count >= 20:
+        values.append("all20")
+    else:
+        values.append("partial")
+
+    t22 = index.for_pair(mtaid, "t22")
+    if not classify.spf_validated(t22):
+        values.append(None)
+    else:
+        values.append("yes" if classify.fetched_explanation(t22) else "no")
+
+    t32 = index.for_pair(mtaid, "t32")
+    if not classify.spf_validated(t32):
+        values.append(None)
+    else:
+        values.append("yes" if classify.followed_redirect_after_all(t32) else "no")
+
+    t20 = index.for_pair(mtaid, "t20")
+    if not classify.spf_validated(t20):
+        values.append(None)
+    else:
+        values.append("yes" if classify.expanded_ip_macro(t20) else "no")
+
+    return BehaviorVector(tuple(values))
+
+
+@dataclass
+class FingerprintReport:
+    """Clustering of MTAs by behaviour vector."""
+
+    clusters: Dict[BehaviorVector, List[str]] = field(default_factory=dict)
+    skipped: List[str] = field(default_factory=list)  # MTAs with no signal
+
+    @property
+    def distinct_profiles(self) -> int:
+        return len(self.clusters)
+
+    @property
+    def total_mtas(self) -> int:
+        return sum(len(members) for members in self.clusters.values())
+
+    def largest(self, count: int = 10) -> List[Tuple[BehaviorVector, int]]:
+        ranked = sorted(self.clusters.items(), key=lambda item: -len(item[1]))
+        return [(vector, len(members)) for vector, members in ranked[:count]]
+
+    def entropy_bits(self) -> float:
+        """Shannon entropy of the cluster-size distribution — how much a
+        fingerprint narrows down *which* deployment you are talking to."""
+        total = self.total_mtas
+        if total == 0:
+            return 0.0
+        entropy = 0.0
+        for members in self.clusters.values():
+            p = len(members) / total
+            entropy -= p * math.log2(p)
+        return entropy
+
+    def to_table(self, top: int = 10) -> Table:
+        table = Table(
+            "Section 8: validator fingerprints (distinct profiles: %d, entropy %.2f bits)"
+            % (self.distinct_profiles, self.entropy_bits()),
+            ["MTAs", "Profile (observable features)"],
+        )
+        for vector, size in self.largest(top):
+            text = vector.to_text()
+            table.add(size, text[:100] + ("..." if len(text) > 100 else ""))
+        return table
+
+
+def fingerprint_fleet(
+    result: ProbeCampaignResult, min_features: int = 3
+) -> FingerprintReport:
+    """Cluster every observed-validating MTA by behaviour vector.
+
+    MTAs exposing fewer than ``min_features`` observable features are set
+    aside (too little signal to call them an implementation).
+    """
+    report = FingerprintReport()
+    for mtaid in sorted(result.index.mtas_observed()):
+        if mtaid not in result.probed:
+            continue
+        vector = behavior_vector(mtaid, result.index)
+        if vector.observed_features < min_features:
+            report.skipped.append(mtaid)
+            continue
+        report.clusters.setdefault(vector, []).append(mtaid)
+    return report

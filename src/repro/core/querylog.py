@@ -1,0 +1,119 @@
+"""Query attribution (paper Sections 4.4 and 4.5).
+
+Every query name the synthesizing server sees embeds the identifiers of
+the MTA (or domain) and test policy that induced it, so a single flat
+query log can be attributed back to ``(mtaid, testid)`` pairs even when
+thousands of MTAs validate concurrently.  :func:`attribute_queries` does
+the decomposition; :class:`QueryIndex` provides the groupings every
+analysis consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.synth import SynthConfig
+from repro.dns.name import Name
+from repro.dns.rdata import RdataType
+from repro.dns.server import QueryLogEntry
+
+
+@dataclass(frozen=True)
+class AttributedQuery:
+    """One observed query, decomposed."""
+
+    entry: QueryLogEntry
+    experiment: str  # "probe" | "v6" | "notify"
+    mtaid: str  # domainid for the notify experiment
+    testid: str  # "notify" for the notify experiment
+    sub: Tuple[str, ...]
+
+    @property
+    def timestamp(self) -> float:
+        return self.entry.timestamp
+
+    @property
+    def qtype(self) -> RdataType:
+        return self.entry.qtype
+
+    @property
+    def transport(self) -> str:
+        return self.entry.transport
+
+    @property
+    def over_ipv6(self) -> bool:
+        return self.entry.over_ipv6
+
+    @property
+    def head(self) -> str:
+        """First sublabel ('' for the base/L0 name)."""
+        return self.sub[0] if self.sub else ""
+
+
+def attribute_queries(
+    entries: Iterable[QueryLogEntry], config: Optional[SynthConfig] = None
+) -> List[AttributedQuery]:
+    """Attribute raw log entries; unparseable names are dropped."""
+    if config is None:
+        config = SynthConfig()
+    probe_suffix = Name(config.probe_suffix)
+    v6_suffix = Name(config.v6_suffix)
+    notify_suffix = Name(config.notify_suffix)
+    attributed: List[AttributedQuery] = []
+    for entry in entries:
+        qname = entry.qname
+        if qname.is_subdomain_of(probe_suffix):
+            experiment, suffix = "probe", probe_suffix
+        elif qname.is_subdomain_of(v6_suffix):
+            experiment, suffix = "v6", v6_suffix
+        elif qname.is_subdomain_of(notify_suffix):
+            experiment, suffix = "notify", notify_suffix
+        else:
+            continue
+        relative = tuple(label.lower() for label in qname.relativize(suffix))
+        if experiment == "notify":
+            if not relative:
+                continue
+            attributed.append(
+                AttributedQuery(entry, experiment, relative[-1], "notify", relative[:-1])
+            )
+        else:
+            if len(relative) < 2:
+                continue
+            attributed.append(
+                AttributedQuery(entry, experiment, relative[-1], relative[-2], relative[:-2])
+            )
+    return attributed
+
+
+class QueryIndex:
+    """Groupings of attributed queries used by the analyses."""
+
+    def __init__(self, queries: Iterable[AttributedQuery]) -> None:
+        self.queries: List[AttributedQuery] = sorted(queries, key=lambda q: q.timestamp)
+        self._by_pair: Dict[Tuple[str, str], List[AttributedQuery]] = {}
+        self._by_mta: Dict[str, List[AttributedQuery]] = {}
+        for query in self.queries:
+            self._by_pair.setdefault((query.mtaid, query.testid), []).append(query)
+            self._by_mta.setdefault(query.mtaid, []).append(query)
+
+    def for_pair(self, mtaid: str, testid: str) -> List[AttributedQuery]:
+        """Queries induced by one (MTA, test policy) pair, time-ordered."""
+        return self._by_pair.get((mtaid, testid), [])
+
+    def for_mta(self, mtaid: str) -> List[AttributedQuery]:
+        return self._by_mta.get(mtaid, [])
+
+    def mtas_observed(self, testid: Optional[str] = None) -> Set[str]:
+        """MTA ids with at least one attributable query (optionally for a
+        single test policy) — the paper's definition of SPF-validating."""
+        if testid is None:
+            return set(self._by_mta)
+        return {mtaid for (mtaid, tid) in self._by_pair if tid == testid}
+
+    def tests_with_activity(self, mtaid: str) -> Set[str]:
+        return {tid for (mid, tid) in self._by_pair if mid == mtaid}
+
+    def __len__(self) -> int:
+        return len(self.queries)

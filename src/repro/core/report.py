@@ -1,0 +1,76 @@
+"""Plain-text rendering of tables and figures.
+
+The benchmark harness prints the same rows the paper's tables report, so
+a side-by-side comparison is a diff, not an archaeology project.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+
+@dataclass
+class Table:
+    """A titled table with left-aligned first column."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, *cells: object) -> None:
+        self.rows.append([str(cell) for cell in cells])
+
+    def render(self) -> str:
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            parts = []
+            for index, cell in enumerate(cells):
+                if index == 0:
+                    parts.append(cell.ljust(widths[index]))
+                else:
+                    parts.append(cell.rjust(widths[index]))
+            return "  ".join(parts)
+
+        lines = [self.title, "=" * len(self.title), fmt(self.headers), fmt(["-" * w for w in widths])]
+        lines.extend(fmt(row) for row in self.rows)
+        for note in self.notes:
+            lines.append("note: %s" % note)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def pct(numerator: int, denominator: int, digits: int = 1) -> str:
+    """'53.2%' (or 'n/a' for an empty denominator)."""
+    if denominator == 0:
+        return "n/a"
+    return "%.*f%%" % (digits, 100.0 * numerator / denominator)
+
+
+def render_cdf(points: List[Tuple[float, float]], width: int = 50, title: str = "") -> str:
+    """A crude monospace CDF plot: value -> cumulative fraction."""
+    lines = []
+    if title:
+        lines.append(title)
+    for value, fraction in points:
+        bar = "#" * int(round(fraction * width))
+        lines.append("%10.1f | %-*s %5.1f%%" % (value, width, bar, fraction * 100))
+    return "\n".join(lines)
+
+
+def render_histogram(buckets: List[Tuple[str, float]], width: int = 50, title: str = "") -> str:
+    """Labelled-bucket histogram with percentage bars."""
+    lines = []
+    if title:
+        lines.append(title)
+    for label, fraction in buckets:
+        bar = "#" * int(round(fraction * width))
+        lines.append("%12s | %-*s %5.1f%%" % (label, width, bar, fraction * 100))
+    return "\n".join(lines)

@@ -1,0 +1,210 @@
+"""The synthesizing authoritative DNS server (paper Section 4.5).
+
+Hosting the experiments statically would require ~27.8 million records
+(704 per MTA × 39,533 MTAs).  The paper's solution — reproduced here — is
+an authoritative server that *synthesizes* responses from the query name:
+it recognises the ``<sublabels>.<testid>.<mtaid>.<suffix>`` pattern,
+routes to the matching test policy, and fabricates the records on the
+fly.  Per-query response delays and forced UDP truncation come from the
+policy definitions too.
+
+Three suffixes are served:
+
+* the probe suffix (``spf-test.dns-lab.org``) for NotifyMX / TwoWeekMX,
+* an IPv6-only suffix (reachable only at the server's IPv6 address) for
+  the ``ipv6_only`` test policy, and
+* the NotifyEmail suffix (``dsav-mail.dns-lab.org``), keyed by domainid
+  instead of (testid, mtaid).
+
+The inherited query log *is* the experiment's measurement output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.core.policies import (
+    NOTIFY_POLICY,
+    POLICIES,
+    PolicyContext,
+    TestPolicy,
+)
+from repro.dns.message import Message
+from repro.dns.name import Name
+from repro.dns.rdata import Rcode, RdataType, SoaRecord
+from repro.dns.resolver import AuthorityDirectory
+from repro.dns.server import AuthoritativeServer
+from repro.net.network import Network
+
+
+@dataclass
+class SynthConfig:
+    """Deployment parameters of the synthesizing server."""
+
+    probe_suffix: str = "spf-test.dns-lab.org"
+    v6_suffix: str = "spf-test-v6.dns-lab.org"
+    notify_suffix: str = "dsav-mail.dns-lab.org"
+    contact_rname: str = "contact.dns-lab.org"
+    server_ipv4: str = "198.51.100.53"
+    server_ipv6: str = "2001:db8:53::53"
+    probe_ipv4: str = "203.0.113.250"
+    probe_ipv6: str = "2001:db8:fe::250"
+    #: Real sender addresses (authorized by the NotifyEmail policy).
+    sender_ips: Sequence[str] = ()
+    dkim_key_b64: str = ""
+    ttl: int = 60
+    policies: Sequence[TestPolicy] = field(default_factory=lambda: list(POLICIES))
+
+
+class SynthesizingAuthority(AuthoritativeServer):
+    """Answers everything under its suffixes by synthesis."""
+
+    def __init__(self, config: Optional[SynthConfig] = None) -> None:
+        super().__init__(zones=[])
+        self.config = config if config is not None else SynthConfig()
+        self._policies = {policy.testid: policy for policy in self.config.policies}
+        self._probe_suffix = Name(self.config.probe_suffix)
+        self._v6_suffix = Name(self.config.v6_suffix)
+        self._notify_suffix = Name(self.config.notify_suffix)
+        self.response_delay = self._policy_delay
+        self.force_tcp_for = self._policy_force_tcp
+
+    # -- deployment ------------------------------------------------------
+
+    def deploy(self, network: Network, directory: AuthorityDirectory) -> None:
+        """Attach to the network and register suffix delegations.
+
+        The IPv6-only suffix is registered with *only* the IPv6 server
+        address — that asymmetry is the whole point of the ``ipv6_only``
+        test policy.
+        """
+        config = self.config
+        self.attach(network, config.server_ipv4, config.server_ipv6)
+        directory.register(config.probe_suffix, config.server_ipv4, config.server_ipv6)
+        directory.register(config.notify_suffix, config.server_ipv4, config.server_ipv6)
+        directory.register(config.v6_suffix, config.server_ipv6)
+
+    # -- name parsing -------------------------------------------------------
+
+    def _parse(self, qname: Name) -> Optional[Tuple[TestPolicy, Tuple[str, ...], PolicyContext]]:
+        """Decompose ``qname`` into (policy, sublabels, context)."""
+        config = self.config
+        for suffix, suffix_text in (
+            (self._probe_suffix, config.probe_suffix),
+            (self._v6_suffix, config.v6_suffix),
+        ):
+            if not qname.is_subdomain_of(suffix):
+                continue
+            relative = tuple(label.lower() for label in qname.relativize(suffix))
+            if len(relative) < 2:
+                return None
+            mtaid = relative[-1]
+            testid = relative[-2]
+            sub = relative[:-2]
+            policy = self._policies.get(testid)
+            if policy is None:
+                return None
+            context = PolicyContext(
+                base="%s.%s.%s" % (testid, mtaid, config.probe_suffix),
+                mtaid=mtaid,
+                testid=testid,
+                v6_base="%s.%s.%s" % (testid, mtaid, config.v6_suffix),
+                helo_base="h.%s.%s.%s" % (testid, mtaid, config.probe_suffix),
+                probe_ipv4=config.probe_ipv4,
+                probe_ipv6=config.probe_ipv6,
+                valid_sender_ips=config.sender_ips,
+                dkim_key_b64=config.dkim_key_b64,
+            )
+            return policy, sub, context
+        if qname.is_subdomain_of(self._notify_suffix):
+            relative = tuple(label.lower() for label in qname.relativize(self._notify_suffix))
+            if not relative:
+                return None
+            domainid = relative[-1]
+            sub = relative[:-1]
+            context = PolicyContext(
+                base="%s.%s" % (domainid, config.notify_suffix),
+                mtaid=domainid,
+                testid="notify",
+                probe_ipv4=config.probe_ipv4,
+                probe_ipv6=config.probe_ipv6,
+                valid_sender_ips=config.sender_ips,
+                dkim_key_b64=config.dkim_key_b64,
+            )
+            return NOTIFY_POLICY, sub, context
+        return None
+
+    # -- server hooks ------------------------------------------------------
+
+    def resolve(self, query: Message, transport: str, client_ip: str, t_arrival: float) -> Message:
+        response = query.make_response()
+        qname, qtype = query.qname, query.qtype
+        if qname is None or qtype is None:
+            response.flags.rcode = Rcode.FORMERR
+            return response
+        suffix = self._owning_suffix(qname)
+        if suffix is None:
+            response.flags.rcode = Rcode.REFUSED
+            return response
+        response.flags.aa = True
+        soa = SoaRecord(
+            "ns1.%s" % suffix,
+            self.config.contact_rname,  # the published abuse contact (s5.3)
+        )
+        if qname == Name(suffix) and qtype == RdataType.SOA:
+            from repro.dns.rdata import ResourceRecord
+
+            response.answer.append(ResourceRecord(qname, self.config.ttl, soa))
+            return response
+        parsed = self._parse(qname)
+        if parsed is None:
+            self._negative(response, suffix, soa, nxdomain=True)
+            return response
+        policy, sub, context = parsed
+        synthesized = policy.respond(sub, qtype, context)
+        if synthesized.nxdomain:
+            self._negative(response, suffix, soa, nxdomain=True)
+            return response
+        if not synthesized.records:
+            self._negative(response, suffix, soa, nxdomain=False)
+            return response
+        from repro.dns.rdata import ResourceRecord
+
+        for rdata in synthesized.records:
+            response.answer.append(ResourceRecord(qname, self.config.ttl, rdata))
+        return response
+
+    def _owning_suffix(self, qname: Name) -> Optional[str]:
+        for suffix_name, text in (
+            (self._probe_suffix, self.config.probe_suffix),
+            (self._v6_suffix, self.config.v6_suffix),
+            (self._notify_suffix, self.config.notify_suffix),
+        ):
+            if qname.is_subdomain_of(suffix_name):
+                return text
+        return None
+
+    def _negative(self, response: Message, suffix: str, soa: SoaRecord, nxdomain: bool) -> None:
+        from repro.dns.rdata import ResourceRecord
+
+        response.authority.append(ResourceRecord(Name(suffix), self.config.ttl, soa))
+        if nxdomain:
+            response.flags.rcode = Rcode.NXDOMAIN
+
+    # -- per-query options ----------------------------------------------
+
+    def _policy_options(self, qname: Name, qtype: RdataType):
+        parsed = self._parse(qname)
+        if parsed is None:
+            return None
+        policy, sub, context = parsed
+        return policy.respond(sub, qtype, context)
+
+    def _policy_delay(self, qname: Name, qtype: RdataType) -> float:
+        synthesized = self._policy_options(qname, qtype)
+        return synthesized.delay if synthesized is not None else 0.0
+
+    def _policy_force_tcp(self, qname: Name) -> bool:
+        synthesized = self._policy_options(qname, RdataType.TXT)
+        return synthesized.force_tcp if synthesized is not None else False

@@ -1,0 +1,163 @@
+"""Campaign artefact export/import ("data release" tooling).
+
+Measurement papers live or die by their released artefacts.  This module
+serialises a campaign's raw evidence — the attributed DNS query log and
+the SMTP probe transcripts — to JSON-lines files and reads them back, so
+analyses can be rerun (or challenged) without re-running the campaign.
+
+Formats are line-oriented JSON with a one-line header record carrying a
+format tag and version, so partially-written files fail loudly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.core.probe import ProbeResult
+from repro.core.querylog import AttributedQuery, QueryIndex
+from repro.dns.name import Name
+from repro.dns.rdata import RdataType
+from repro.dns.server import QueryLogEntry
+
+FORMAT_VERSION = 1
+
+
+class TraceError(Exception):
+    """Unreadable or incompatible trace file."""
+
+
+# -- query logs --------------------------------------------------------------
+
+
+def save_query_log(queries: Iterable[AttributedQuery], path: Union[str, Path]) -> int:
+    """Write attributed queries as JSON lines; returns the record count."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"format": "repro-querylog", "version": FORMAT_VERSION}) + "\n")
+        for query in queries:
+            record = {
+                "t": query.timestamp,
+                "qname": str(query.entry.qname),
+                "qtype": query.qtype.name,
+                "transport": query.transport,
+                "client": query.entry.client_ip,
+                "experiment": query.experiment,
+                "mtaid": query.mtaid,
+                "testid": query.testid,
+                "sub": list(query.sub),
+            }
+            handle.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def load_query_log(path: Union[str, Path]) -> List[AttributedQuery]:
+    """Read a query-log trace back into attributed queries."""
+    path = Path(path)
+    queries: List[AttributedQuery] = []
+    with path.open("r", encoding="utf-8") as handle:
+        header = _read_header(handle, "repro-querylog", path)
+        for line_number, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                entry = QueryLogEntry(
+                    timestamp=float(record["t"]),
+                    qname=Name(record["qname"]),
+                    qtype=RdataType[record["qtype"]],
+                    transport=record["transport"],
+                    client_ip=record["client"],
+                )
+                queries.append(
+                    AttributedQuery(
+                        entry=entry,
+                        experiment=record["experiment"],
+                        mtaid=record["mtaid"],
+                        testid=record["testid"],
+                        sub=tuple(record["sub"]),
+                    )
+                )
+            except (KeyError, ValueError) as exc:
+                raise TraceError("%s:%d: bad record: %s" % (path, line_number, exc)) from exc
+    return queries
+
+
+def load_query_index(path: Union[str, Path]) -> QueryIndex:
+    """Convenience: a ready-to-analyse index from a trace file."""
+    return QueryIndex(load_query_log(path))
+
+
+# -- probe results -------------------------------------------------------------
+
+
+def save_probe_results(results: Iterable[ProbeResult], path: Union[str, Path]) -> int:
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"format": "repro-probes", "version": FORMAT_VERSION}) + "\n")
+        for result in results:
+            record = {
+                "mtaid": result.mtaid,
+                "testid": result.testid,
+                "target": result.target_ip,
+                "stage": result.stage_reached,
+                "username": result.accepted_username,
+                "error_stage": result.error_stage,
+                "error_text": result.error_text,
+                "replies": [[stage, code, text] for stage, code, text in result.replies],
+                "t0": result.t_started,
+                "t1": result.t_finished,
+            }
+            handle.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def load_probe_results(path: Union[str, Path]) -> List[ProbeResult]:
+    path = Path(path)
+    results: List[ProbeResult] = []
+    with path.open("r", encoding="utf-8") as handle:
+        _read_header(handle, "repro-probes", path)
+        for line_number, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                results.append(
+                    ProbeResult(
+                        mtaid=record["mtaid"],
+                        testid=record["testid"],
+                        target_ip=record["target"],
+                        stage_reached=record["stage"],
+                        accepted_username=record["username"],
+                        error_stage=record["error_stage"],
+                        error_text=record["error_text"],
+                        replies=[(stage, code, text) for stage, code, text in record["replies"]],
+                        t_started=float(record["t0"]),
+                        t_finished=float(record["t1"]),
+                    )
+                )
+            except (KeyError, ValueError, TypeError) as exc:
+                raise TraceError("%s:%d: bad record: %s" % (path, line_number, exc)) from exc
+    return results
+
+
+def _read_header(handle, expected_format: str, path: Path) -> dict:
+    first = handle.readline()
+    try:
+        header = json.loads(first)
+    except json.JSONDecodeError as exc:
+        raise TraceError("%s: missing trace header" % path) from exc
+    if not isinstance(header, dict) or header.get("format") != expected_format:
+        raise TraceError(
+            "%s: expected %s trace, found %r" % (path, expected_format, header)
+        )
+    if header.get("version") != FORMAT_VERSION:
+        raise TraceError("%s: unsupported trace version %r" % (path, header.get("version")))
+    return header

@@ -1,0 +1,34 @@
+"""DomainKeys Identified Mail (RFC 6376).
+
+Real signing and verification: pure-Python RSA (Miller–Rabin key
+generation, PKCS#1 v1.5 with SHA-256), simple and relaxed canonicalization,
+DKIM-Signature header construction/parsing, and DNS-published key records
+(``<selector>._domainkey.<domain>`` TXT) fetched through the same resolver
+the rest of the stack uses — so DKIM verification produces exactly the DNS
+queries the paper's instrumentation watches for.
+"""
+
+from repro.dkim.canonical import canonicalize_body, canonicalize_header
+from repro.dkim.errors import DkimError, DkimKeyError, DkimSignatureError
+from repro.dkim.rsa import RsaKeyPair, RsaPrivateKey, RsaPublicKey, generate_keypair
+from repro.dkim.sign import DkimSigner
+from repro.dkim.signature import DkimSignature, KeyRecord
+from repro.dkim.verify import DkimResult, DkimVerifier, VerificationOutcome
+
+__all__ = [
+    "DkimError",
+    "DkimKeyError",
+    "DkimResult",
+    "DkimSignature",
+    "DkimSignatureError",
+    "DkimSigner",
+    "DkimVerifier",
+    "KeyRecord",
+    "RsaKeyPair",
+    "RsaPrivateKey",
+    "RsaPublicKey",
+    "VerificationOutcome",
+    "canonicalize_body",
+    "canonicalize_header",
+    "generate_keypair",
+]

@@ -1,0 +1,47 @@
+"""DKIM canonicalization (RFC 6376 section 3.4).
+
+Implements ``simple`` and ``relaxed`` for both headers and bodies.  Header
+canonicalization operates on ``(name, value)`` pairs as stored by
+:class:`repro.smtp.message.EmailMessage` (folding preserved in the value,
+which is what relaxed unfolding needs to undo).
+"""
+
+from __future__ import annotations
+
+import re
+
+CRLF = "\r\n"
+
+_WSP_RUN = re.compile(r"[ \t]+")
+_FOLD = re.compile(r"\r\n[ \t]")
+
+
+def canonicalize_header(name: str, value: str, algorithm: str) -> str:
+    """One canonicalized header field, including trailing CRLF."""
+    if algorithm == "simple":
+        return "%s: %s%s" % (name, value, CRLF)
+    if algorithm == "relaxed":
+        unfolded = _FOLD.sub(" ", value)
+        collapsed = _WSP_RUN.sub(" ", unfolded).strip()
+        return "%s:%s%s" % (name.lower().strip(), collapsed, CRLF)
+    raise ValueError("unknown header canonicalization %r" % algorithm)
+
+
+def canonicalize_body(body: str, algorithm: str) -> str:
+    """The canonicalized body, per section 3.4.3 / 3.4.4."""
+    if algorithm not in ("simple", "relaxed"):
+        raise ValueError("unknown body canonicalization %r" % algorithm)
+    text = body
+    if algorithm == "relaxed":
+        lines = text.split(CRLF)
+        lines = [_WSP_RUN.sub(" ", line).rstrip(" ") for line in lines]
+        text = CRLF.join(lines)
+    # Both algorithms: reduce trailing empty lines to a single CRLF.
+    while text.endswith(CRLF + CRLF):
+        text = text[: -len(CRLF)]
+    if text and not text.endswith(CRLF):
+        text += CRLF
+    if not text:
+        # Simple canonicalization of an empty body is a lone CRLF.
+        text = CRLF if algorithm == "simple" else ""
+    return text

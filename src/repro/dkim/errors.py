@@ -1,0 +1,13 @@
+"""DKIM error types."""
+
+
+class DkimError(Exception):
+    """Base class for DKIM errors."""
+
+
+class DkimSignatureError(DkimError):
+    """The DKIM-Signature header is malformed or unsupported."""
+
+
+class DkimKeyError(DkimError):
+    """The published key record is malformed or unusable."""

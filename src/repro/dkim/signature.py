@@ -1,0 +1,173 @@
+"""DKIM-Signature headers and key records (RFC 6376 sections 3.5, 3.6.1).
+
+Both are DKIM tag=value lists.  :class:`DkimSignature` models the header;
+:class:`KeyRecord` models the TXT record published at
+``<selector>._domainkey.<domain>``.
+"""
+
+from __future__ import annotations
+
+import base64
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dkim.errors import DkimKeyError, DkimSignatureError
+
+_TAG_LIST_RE = re.compile(r"([a-zA-Z][a-zA-Z0-9_]*)\s*=\s*([^;]*)")
+
+
+def parse_tag_list(text: str) -> Dict[str, str]:
+    """Parse a DKIM tag=value list; whitespace (incl. folding) is elided
+    from values, as the spec's FWS rules allow."""
+    tags: Dict[str, str] = {}
+    for part in text.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        name, separator, value = part.partition("=")
+        if not separator:
+            raise DkimSignatureError("malformed tag %r" % part)
+        tags[name.strip()] = re.sub(r"\s+", "", value)
+    return tags
+
+
+@dataclass
+class DkimSignature:
+    """A parsed (or to-be-serialised) DKIM-Signature header value."""
+
+    domain: str  # d=
+    selector: str  # s=
+    body_hash: str = ""  # bh= (base64)
+    signature: str = ""  # b=  (base64)
+    signed_headers: List[str] = field(default_factory=lambda: ["from"])  # h=
+    algorithm: str = "rsa-sha256"  # a=
+    canonicalization: str = "relaxed/relaxed"  # c=
+    timestamp: Optional[int] = None  # t=
+    expiration: Optional[int] = None  # x=
+    identity: Optional[str] = None  # i=
+
+    @property
+    def header_canon(self) -> str:
+        return self.canonicalization.split("/", 1)[0]
+
+    @property
+    def body_canon(self) -> str:
+        parts = self.canonicalization.split("/", 1)
+        return parts[1] if len(parts) == 2 else "simple"
+
+    @property
+    def key_query_domain(self) -> str:
+        """Where verifiers fetch the public key — the DNS query the paper
+        counts as evidence of DKIM validation."""
+        return "%s._domainkey.%s" % (self.selector, self.domain)
+
+    def to_header_value(self, with_signature: bool = True) -> str:
+        tags: List[Tuple[str, str]] = [
+            ("v", "1"),
+            ("a", self.algorithm),
+            ("c", self.canonicalization),
+            ("d", self.domain),
+            ("s", self.selector),
+        ]
+        if self.timestamp is not None:
+            tags.append(("t", str(self.timestamp)))
+        if self.expiration is not None:
+            tags.append(("x", str(self.expiration)))
+        if self.identity is not None:
+            tags.append(("i", self.identity))
+        tags.append(("h", ":".join(self.signed_headers)))
+        tags.append(("bh", self.body_hash))
+        tags.append(("b", self.signature if with_signature else ""))
+        return "; ".join("%s=%s" % (name, value) for name, value in tags)
+
+    @classmethod
+    def from_header_value(cls, text: str) -> "DkimSignature":
+        tags = parse_tag_list(text)
+        for required in ("v", "a", "d", "s", "h", "bh", "b"):
+            if required not in tags:
+                raise DkimSignatureError("missing required tag %s=" % required)
+        if tags["v"] != "1":
+            raise DkimSignatureError("unsupported DKIM version %r" % tags["v"])
+        signature = cls(
+            domain=tags["d"],
+            selector=tags["s"],
+            body_hash=tags["bh"],
+            signature=tags["b"],
+            signed_headers=[h for h in tags["h"].lower().split(":") if h],
+            algorithm=tags.get("a", "rsa-sha256"),
+            canonicalization=tags.get("c", "simple/simple"),
+            identity=tags.get("i"),
+        )
+        if "t" in tags:
+            signature.timestamp = _parse_int(tags["t"], "t")
+        if "x" in tags:
+            signature.expiration = _parse_int(tags["x"], "x")
+        if "from" not in signature.signed_headers:
+            raise DkimSignatureError("h= must include From")
+        return signature
+
+    def signature_bytes(self) -> bytes:
+        try:
+            return base64.b64decode(self.signature.encode("ascii"), validate=True)
+        except Exception as exc:
+            raise DkimSignatureError("bad base64 in b=") from exc
+
+    def body_hash_bytes(self) -> bytes:
+        try:
+            return base64.b64decode(self.body_hash.encode("ascii"), validate=True)
+        except Exception as exc:
+            raise DkimSignatureError("bad base64 in bh=") from exc
+
+
+def _parse_int(value: str, tag: str) -> int:
+    try:
+        return int(value)
+    except ValueError as exc:
+        raise DkimSignatureError("non-numeric %s= tag" % tag) from exc
+
+
+@dataclass
+class KeyRecord:
+    """A DKIM key record (the TXT at ``<selector>._domainkey.<domain>``)."""
+
+    public_key_b64: str  # p= ; empty means "key revoked"
+    key_type: str = "rsa"  # k=
+    version: str = "DKIM1"  # v=
+    flags: List[str] = field(default_factory=list)  # t=
+    notes: Optional[str] = None  # n=
+
+    def to_text(self) -> str:
+        parts = ["v=%s" % self.version, "k=%s" % self.key_type]
+        if self.flags:
+            parts.append("t=%s" % ":".join(self.flags))
+        if self.notes:
+            parts.append("n=%s" % self.notes)
+        parts.append("p=%s" % self.public_key_b64)
+        return "; ".join(parts)
+
+    @classmethod
+    def from_text(cls, text: str) -> "KeyRecord":
+        try:
+            tags = parse_tag_list(text)
+        except DkimSignatureError as exc:
+            raise DkimKeyError(str(exc)) from exc
+        if "p" not in tags:
+            raise DkimKeyError("key record missing p=")
+        version = tags.get("v", "DKIM1")
+        if version != "DKIM1":
+            raise DkimKeyError("unsupported key record version %r" % version)
+        key_type = tags.get("k", "rsa")
+        if key_type != "rsa":
+            raise DkimKeyError("unsupported key type %r" % key_type)
+        return cls(
+            public_key_b64=tags["p"],
+            key_type=key_type,
+            version=version,
+            flags=[f for f in tags.get("t", "").split(":") if f],
+            notes=tags.get("n"),
+        )
+
+    @property
+    def revoked(self) -> bool:
+        return not self.public_key_b64

@@ -1,0 +1,160 @@
+"""DKIM verification (RFC 6376 section 6).
+
+The verifier fetches the public key from DNS through the caller-supplied
+resolver — producing the ``<selector>._domainkey.<domain>`` TXT query that
+the paper's instrumentation treats as the signal of DKIM validation —
+then checks the body hash and the RSA signature.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.dkim.canonical import canonicalize_body, canonicalize_header
+from repro.dkim.errors import DkimError, DkimKeyError, DkimSignatureError
+from repro.dkim.rsa import RsaPublicKey
+from repro.dkim.signature import DkimSignature, KeyRecord
+from repro.dns.rdata import RdataType
+from repro.dns.resolver import Resolver
+from repro.smtp.message import EmailMessage
+
+_B_TAG_RE = re.compile(r"([;\s]|\A)b\s*=\s*[^;]*")
+
+
+class DkimResult(enum.Enum):
+    """RFC 8601-style outcomes."""
+
+    PASS = "pass"
+    FAIL = "fail"
+    PERMERROR = "permerror"
+    TEMPERROR = "temperror"
+    NONE = "none"
+
+
+@dataclass
+class VerificationOutcome:
+    result: DkimResult
+    domain: Optional[str] = None
+    selector: Optional[str] = None
+    reason: Optional[str] = None
+
+    def __str__(self) -> str:
+        detail = " (%s)" % self.reason if self.reason else ""
+        return "dkim=%s d=%s s=%s%s" % (self.result.value, self.domain, self.selector, detail)
+
+
+class DkimVerifier:
+    """Verifies the first DKIM-Signature header of a message."""
+
+    def __init__(self, resolver: Resolver) -> None:
+        self.resolver = resolver
+
+    def verify(self, message: EmailMessage, t: float) -> Tuple[VerificationOutcome, float]:
+        """Verify ``message`` starting at virtual time ``t``.
+
+        Returns ``(outcome, t_done)``; DNS time is accounted for even on
+        failure paths that reach the key lookup.
+        """
+        raw = message.get_header("DKIM-Signature")
+        if raw is None:
+            return VerificationOutcome(DkimResult.NONE, reason="no signature"), t
+
+        try:
+            signature = DkimSignature.from_header_value(raw)
+        except DkimSignatureError as exc:
+            return VerificationOutcome(DkimResult.PERMERROR, reason=str(exc)), t
+
+        outcome = VerificationOutcome(
+            DkimResult.FAIL, domain=signature.domain, selector=signature.selector
+        )
+        if signature.algorithm != "rsa-sha256":
+            outcome.result = DkimResult.PERMERROR
+            outcome.reason = "unsupported a=%s" % signature.algorithm
+            return outcome, t
+        if signature.expiration is not None and t > signature.expiration:
+            outcome.reason = "signature expired (x=%d)" % signature.expiration
+            return outcome, t
+
+        # Key fetch first: even a message that will fail body-hash produces
+        # the observable DNS query, exactly as real verifiers do.
+        answer, t = self.resolver.query_at(signature.key_query_domain, RdataType.TXT, t)
+        if answer.status.is_error:
+            outcome.result = DkimResult.TEMPERROR
+            outcome.reason = "key lookup failed"
+            return outcome, t
+        texts = answer.texts()
+        if not texts:
+            outcome.result = DkimResult.PERMERROR
+            outcome.reason = "no key record"
+            return outcome, t
+        try:
+            key_record = KeyRecord.from_text(texts[0])
+            if key_record.revoked:
+                raise DkimKeyError("key revoked")
+            public_key = RsaPublicKey.from_base64(key_record.public_key_b64)
+        except DkimError as exc:
+            outcome.result = DkimResult.PERMERROR
+            outcome.reason = str(exc)
+            return outcome, t
+
+        body = canonicalize_body(message.body, signature.body_canon)
+        digest = hashlib.sha256(body.encode("utf-8")).digest()
+        try:
+            declared = signature.body_hash_bytes()
+        except DkimSignatureError as exc:
+            outcome.result = DkimResult.PERMERROR
+            outcome.reason = str(exc)
+            return outcome, t
+        if digest != declared:
+            outcome.reason = "body hash mismatch"
+            return outcome, t
+
+        signing_input = build_verification_input(message, raw, signature)
+        try:
+            raw_signature = signature.signature_bytes()
+        except DkimSignatureError as exc:
+            outcome.result = DkimResult.PERMERROR
+            outcome.reason = str(exc)
+            return outcome, t
+        if public_key.verify(signing_input, raw_signature):
+            outcome.result = DkimResult.PASS
+            outcome.reason = None
+        else:
+            outcome.reason = "signature mismatch"
+        return outcome, t
+
+
+def build_verification_input(
+    message: EmailMessage, raw_signature_value: str, signature: DkimSignature
+) -> bytes:
+    """Reconstruct the signed byte string on the verification side.
+
+    The received DKIM-Signature header is used *verbatim* with only the
+    ``b=`` tag value removed, so verification is independent of how the
+    signer ordered or spaced its tags (section 3.7).
+    """
+    header_canon = signature.header_canon
+    pieces: List[str] = []
+    consumed: dict = {}
+    for wanted in signature.signed_headers:
+        instances = [
+            (name, value)
+            for (name, value) in message.headers
+            if name.lower() == wanted and not (name.lower() == "dkim-signature" and value == raw_signature_value)
+        ]
+        taken = consumed.get(wanted, 0)
+        if taken >= len(instances):
+            continue
+        name, value = instances[len(instances) - 1 - taken]
+        consumed[wanted] = taken + 1
+        pieces.append(canonicalize_header(name, value, header_canon))
+    stripped = _B_TAG_RE.sub(lambda match: match.group(1) + "b=", raw_signature_value, count=1)
+    final = canonicalize_header("DKIM-Signature", stripped, header_canon)
+    if final.endswith("\r\n"):
+        final = final[:-2]
+    pieces.append(final)
+    return "".join(pieces).encode("utf-8")

@@ -1,0 +1,151 @@
+"""DMARC evaluation (RFC 7489 sections 3.1, 6.6.2, 6.6.3).
+
+Given the RFC5322.From domain and the SPF / DKIM authentication results,
+the evaluator discovers the applicable policy (``_dmarc.<from-domain>``,
+falling back to the organizational domain) and decides pass/fail and the
+disposition.  Policy discovery goes through the resolver, producing the
+``_dmarc.*`` queries the measurement harness attributes to DMARC
+validation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.dmarc.psl import PublicSuffixList
+from repro.dmarc.record import (
+    AlignmentMode,
+    DmarcPolicy,
+    DmarcRecord,
+    DmarcRecordError,
+    looks_like_dmarc,
+)
+from repro.dns.rdata import RdataType
+from repro.dns.resolver import Resolver
+
+
+class DmarcResult(enum.Enum):
+    PASS = "pass"
+    FAIL = "fail"
+    NONE = "none"  # no policy published
+    TEMPERROR = "temperror"
+    PERMERROR = "permerror"
+
+
+class DmarcDisposition(enum.Enum):
+    """What the receiver should do with the message."""
+
+    NONE = "none"
+    QUARANTINE = "quarantine"
+    REJECT = "reject"
+
+
+@dataclass
+class DmarcOutcome:
+    result: DmarcResult
+    disposition: DmarcDisposition
+    record: Optional[DmarcRecord] = None
+    policy_domain: Optional[str] = None
+    spf_aligned: bool = False
+    dkim_aligned: bool = False
+
+    def __str__(self) -> str:
+        return "dmarc=%s disposition=%s (policy at %s)" % (
+            self.result.value,
+            self.disposition.value,
+            self.policy_domain,
+        )
+
+
+class DmarcEvaluator:
+    """Evaluates DMARC for one message's identifier set."""
+
+    def __init__(self, resolver: Resolver, psl: Optional[PublicSuffixList] = None) -> None:
+        self.resolver = resolver
+        self.psl = psl if psl is not None else PublicSuffixList()
+
+    def evaluate(
+        self,
+        from_domain: str,
+        spf_result: str,
+        spf_domain: Optional[str],
+        dkim_result: str,
+        dkim_domain: Optional[str],
+        t: float,
+    ) -> Tuple[DmarcOutcome, float]:
+        """Discover policy and compute the outcome.
+
+        ``spf_result`` / ``dkim_result`` are the textual results
+        (``"pass"`` etc.); ``spf_domain`` is the MAIL FROM domain SPF
+        authenticated, ``dkim_domain`` the ``d=`` of a passing signature.
+        """
+        record, policy_domain, t = self._discover(from_domain, t)
+        if record is None:
+            return (
+                DmarcOutcome(DmarcResult.NONE, DmarcDisposition.NONE, policy_domain=policy_domain),
+                t,
+            )
+        if isinstance(record, DmarcRecordError):
+            return (
+                DmarcOutcome(DmarcResult.PERMERROR, DmarcDisposition.NONE, policy_domain=policy_domain),
+                t,
+            )
+
+        spf_aligned = spf_result == "pass" and spf_domain is not None and self._aligned(
+            from_domain, spf_domain, record.spf_alignment
+        )
+        dkim_aligned = dkim_result == "pass" and dkim_domain is not None and self._aligned(
+            from_domain, dkim_domain, record.dkim_alignment
+        )
+        passed = spf_aligned or dkim_aligned
+
+        org = self.psl.organizational_domain(from_domain)
+        is_subdomain = from_domain.rstrip(".").lower() != org
+        if passed:
+            disposition = DmarcDisposition.NONE
+        else:
+            disposition = DmarcDisposition(record.effective_policy(is_subdomain).value)
+        return (
+            DmarcOutcome(
+                result=DmarcResult.PASS if passed else DmarcResult.FAIL,
+                disposition=disposition,
+                record=record,
+                policy_domain=policy_domain,
+                spf_aligned=spf_aligned,
+                dkim_aligned=dkim_aligned,
+            ),
+            t,
+        )
+
+    # -- policy discovery ---------------------------------------------------
+
+    def _discover(self, from_domain: str, t: float):
+        """Section 6.6.3: query _dmarc.<from>, then _dmarc.<org>."""
+        domain = from_domain.rstrip(".").lower()
+        candidates = ["_dmarc.%s" % domain]
+        org = self.psl.organizational_domain(domain)
+        if org != domain:
+            candidates.append("_dmarc.%s" % org)
+        for index, qname in enumerate(candidates):
+            answer, t = self.resolver.query_at(qname, RdataType.TXT, t)
+            if answer.status.is_error:
+                return None, qname, t
+            texts = [text for text in answer.texts() if looks_like_dmarc(text)]
+            if not texts:
+                continue
+            if len(texts) > 1:
+                return DmarcRecordError("multiple DMARC records"), qname, t
+            try:
+                return DmarcRecord.from_text(texts[0]), qname, t
+            except DmarcRecordError as exc:
+                return exc, qname, t
+        return None, candidates[-1], t
+
+    def _aligned(self, from_domain: str, auth_domain: str, mode: AlignmentMode) -> bool:
+        lhs = from_domain.rstrip(".").lower()
+        rhs = auth_domain.rstrip(".").lower()
+        if mode is AlignmentMode.STRICT:
+            return lhs == rhs
+        return self.psl.organizational_domain(lhs) == self.psl.organizational_domain(rhs)

@@ -1,0 +1,98 @@
+"""A built-in public-suffix list subset.
+
+DMARC needs the *organizational domain* (RFC 7489 section 3.2), computed
+against the Public Suffix List.  Shipping the full Mozilla list would be
+overkill for a simulation whose domain universe we generate ourselves;
+this subset covers every TLD the paper's Table 1 reports plus the common
+multi-label suffixes, and the class accepts additional suffixes for tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set, Tuple
+
+#: Single-label suffixes (classic TLDs) — superset of the paper's Table 1.
+_DEFAULT_TLDS = {
+    "com", "net", "org", "edu", "gov", "mil", "int", "arpa", "info", "biz",
+    "ru", "pl", "br", "de", "ua", "it", "cz", "ro", "us", "uk", "cam", "ca",
+    "fr", "nl", "es", "se", "no", "fi", "dk", "ch", "at", "be", "jp", "kr",
+    "cn", "in", "au", "nz", "mx", "ar", "cl", "za", "tr", "gr", "pt", "hu",
+    "sk", "si", "hr", "bg", "lt", "lv", "ee", "ie", "il", "sg", "hk", "tw",
+    "th", "my", "id", "ph", "vn", "ir", "sa", "ae", "eg", "ng", "ke", "io",
+    "co", "me", "tv", "cc", "ws", "nu", "to", "lab", "test", "invalid",
+}
+
+#: Multi-label public suffixes.
+_DEFAULT_MULTI = {
+    ("co", "uk"), ("org", "uk"), ("ac", "uk"), ("gov", "uk"), ("me", "uk"),
+    ("com", "br"), ("net", "br"), ("org", "br"), ("gov", "br"), ("edu", "br"),
+    ("com", "au"), ("net", "au"), ("org", "au"), ("edu", "au"), ("gov", "au"),
+    ("co", "jp"), ("ne", "jp"), ("or", "jp"), ("ac", "jp"), ("go", "jp"),
+    ("com", "cn"), ("net", "cn"), ("org", "cn"), ("edu", "cn"), ("gov", "cn"),
+    ("co", "in"), ("net", "in"), ("org", "in"), ("ac", "in"), ("gov", "in"),
+    ("com", "mx"), ("com", "tr"), ("com", "ar"), ("com", "sg"), ("com", "hk"),
+    ("com", "tw"), ("co", "kr"), ("co", "za"), ("co", "il"), ("co", "nz"),
+    ("com", "ua"), ("net", "ua"), ("org", "ua"), ("edu", "ua"), ("gov", "ua"),
+    ("com", "pl"), ("net", "pl"), ("org", "pl"), ("edu", "pl"), ("waw", "pl"),
+    ("com", "ru"), ("net", "ru"), ("org", "ru"), ("msk", "ru"), ("spb", "ru"),
+}
+
+
+class PublicSuffixList:
+    """Longest-match public-suffix lookup over a fixed rule set."""
+
+    def __init__(
+        self,
+        tlds: Optional[Iterable[str]] = None,
+        multi: Optional[Iterable[Tuple[str, ...]]] = None,
+    ) -> None:
+        self._tlds: Set[str] = set(tlds) if tlds is not None else set(_DEFAULT_TLDS)
+        self._multi: Set[Tuple[str, ...]] = (
+            {tuple(s) for s in multi} if multi is not None else set(_DEFAULT_MULTI)
+        )
+
+    def add_suffix(self, suffix: str) -> None:
+        labels = tuple(label.lower() for label in suffix.strip(".").split("."))
+        if len(labels) == 1:
+            self._tlds.add(labels[0])
+        else:
+            self._multi.add(labels)
+
+    def public_suffix(self, domain: str) -> Optional[str]:
+        """The matched public suffix of ``domain``, or None."""
+        labels = [label.lower() for label in domain.strip(".").split(".") if label]
+        if not labels:
+            return None
+        # Longest multi-label match wins over single-label.
+        best: Optional[Tuple[str, ...]] = None
+        for length in range(len(labels), 1, -1):
+            candidate = tuple(labels[-length:])
+            if candidate in self._multi:
+                best = candidate
+                break
+        if best is None and labels[-1] in self._tlds:
+            best = (labels[-1],)
+        return ".".join(best) if best else None
+
+    def organizational_domain(self, domain: str) -> str:
+        """The registered (organizational) domain of ``domain``.
+
+        Unknown suffixes fall back to the last two labels, which is what
+        practical implementations do for names outside their list.
+        """
+        labels = [label.lower() for label in domain.strip(".").split(".") if label]
+        suffix = self.public_suffix(domain)
+        if suffix is None:
+            return ".".join(labels[-2:]) if len(labels) >= 2 else domain.strip(".").lower()
+        suffix_length = suffix.count(".") + 1
+        if len(labels) <= suffix_length:
+            return ".".join(labels)
+        return ".".join(labels[-(suffix_length + 1) :])
+
+
+_DEFAULT_PSL = PublicSuffixList()
+
+
+def organizational_domain(domain: str) -> str:
+    """Module-level convenience using the built-in list."""
+    return _DEFAULT_PSL.organizational_domain(domain)

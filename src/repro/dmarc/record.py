@@ -1,0 +1,119 @@
+"""DMARC record parsing (RFC 7489 section 6.3)."""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class DmarcPolicy(enum.Enum):
+    """Requested disposition for failing mail (``p=`` / ``sp=``)."""
+
+    NONE = "none"
+    QUARANTINE = "quarantine"
+    REJECT = "reject"
+
+
+class AlignmentMode(enum.Enum):
+    """Identifier alignment strictness (``aspf=`` / ``adkim=``)."""
+
+    RELAXED = "r"
+    STRICT = "s"
+
+
+class DmarcRecordError(Exception):
+    """The record text is not a usable DMARC record."""
+
+
+@dataclass
+class DmarcRecord:
+    """A parsed DMARC record."""
+
+    policy: DmarcPolicy
+    subdomain_policy: Optional[DmarcPolicy] = None
+    spf_alignment: AlignmentMode = AlignmentMode.RELAXED
+    dkim_alignment: AlignmentMode = AlignmentMode.RELAXED
+    percent: int = 100
+    rua: List[str] = field(default_factory=list)
+    ruf: List[str] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        parts = ["v=DMARC1", "p=%s" % self.policy.value]
+        if self.subdomain_policy is not None:
+            parts.append("sp=%s" % self.subdomain_policy.value)
+        if self.spf_alignment is not AlignmentMode.RELAXED:
+            parts.append("aspf=%s" % self.spf_alignment.value)
+        if self.dkim_alignment is not AlignmentMode.RELAXED:
+            parts.append("adkim=%s" % self.dkim_alignment.value)
+        if self.percent != 100:
+            parts.append("pct=%d" % self.percent)
+        if self.rua:
+            parts.append("rua=%s" % ",".join(self.rua))
+        if self.ruf:
+            parts.append("ruf=%s" % ",".join(self.ruf))
+        return "; ".join(parts)
+
+    @classmethod
+    def from_text(cls, text: str) -> "DmarcRecord":
+        tags = _parse_tags(text)
+        if tags.get("v") != "DMARC1":
+            raise DmarcRecordError("missing or wrong v= tag")
+        if "p" not in tags:
+            raise DmarcRecordError("missing required p= tag")
+        record = cls(policy=_parse_policy(tags["p"]))
+        if "sp" in tags:
+            record.subdomain_policy = _parse_policy(tags["sp"])
+        if "aspf" in tags:
+            record.spf_alignment = _parse_alignment(tags["aspf"])
+        if "adkim" in tags:
+            record.dkim_alignment = _parse_alignment(tags["adkim"])
+        if "pct" in tags:
+            try:
+                record.percent = max(0, min(100, int(tags["pct"])))
+            except ValueError as exc:
+                raise DmarcRecordError("bad pct= value") from exc
+        if "rua" in tags:
+            record.rua = [uri.strip() for uri in tags["rua"].split(",") if uri.strip()]
+        if "ruf" in tags:
+            record.ruf = [uri.strip() for uri in tags["ruf"].split(",") if uri.strip()]
+        return record
+
+    def effective_policy(self, is_subdomain: bool) -> DmarcPolicy:
+        """``sp=`` applies to subdomains of the organizational domain."""
+        if is_subdomain and self.subdomain_policy is not None:
+            return self.subdomain_policy
+        return self.policy
+
+
+def looks_like_dmarc(text: str) -> bool:
+    """Record-selection test, analogous to SPF's: v=DMARC1 first."""
+    return bool(re.match(r"^v\s*=\s*DMARC1\s*(;|$)", text))
+
+
+def _parse_tags(text: str) -> Dict[str, str]:
+    tags: Dict[str, str] = {}
+    for part in text.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        name, separator, value = part.partition("=")
+        if not separator:
+            raise DmarcRecordError("malformed tag %r" % part)
+        tags.setdefault(name.strip().lower(), value.strip())
+    return tags
+
+
+def _parse_policy(value: str) -> DmarcPolicy:
+    try:
+        return DmarcPolicy(value.strip().lower())
+    except ValueError as exc:
+        raise DmarcRecordError("unknown policy %r" % value) from exc
+
+
+def _parse_alignment(value: str) -> AlignmentMode:
+    try:
+        return AlignmentMode(value.strip().lower())
+    except ValueError as exc:
+        raise DmarcRecordError("unknown alignment %r" % value) from exc

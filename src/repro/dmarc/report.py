@@ -1,0 +1,265 @@
+"""DMARC aggregate reports (RFC 7489 section 7.2 / Appendix C).
+
+A DMARC record's ``rua=`` tag asks receivers to mail back aggregate
+feedback: per-source-IP rows of how many messages arrived and how SPF,
+DKIM, and the DMARC evaluation itself went.  The paper's instrumentation
+published ``rua=`` addresses (Section 5.3); this module closes the loop by
+letting the simulated receivers *produce* those reports.
+
+The XML schema follows Appendix C closely enough that real-world DMARC
+report parsers would accept the output.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dmarc.record import AlignmentMode, DmarcPolicy, DmarcRecord
+
+
+@dataclass
+class ReportMetadata:
+    """Who generated the report, covering which interval."""
+
+    org_name: str
+    email: str
+    report_id: str
+    date_begin: int  # epoch-ish virtual seconds
+    date_end: int
+
+
+@dataclass
+class PolicyPublished:
+    """The policy the receiver discovered for the reported domain."""
+
+    domain: str
+    policy: DmarcPolicy = DmarcPolicy.NONE
+    subdomain_policy: Optional[DmarcPolicy] = None
+    adkim: AlignmentMode = AlignmentMode.RELAXED
+    aspf: AlignmentMode = AlignmentMode.RELAXED
+    percent: int = 100
+
+    @classmethod
+    def from_record(cls, domain: str, record: DmarcRecord) -> "PolicyPublished":
+        return cls(
+            domain=domain,
+            policy=record.policy,
+            subdomain_policy=record.subdomain_policy,
+            adkim=record.dkim_alignment,
+            aspf=record.spf_alignment,
+            percent=record.percent,
+        )
+
+
+@dataclass
+class ReportRow:
+    """One <record> element: a source IP and its evaluation outcome."""
+
+    source_ip: str
+    count: int
+    disposition: str  # none / quarantine / reject
+    dkim_aligned: str  # pass / fail
+    spf_aligned: str  # pass / fail
+    header_from: str
+    spf_domain: Optional[str] = None
+    spf_result: Optional[str] = None
+    dkim_domain: Optional[str] = None
+    dkim_result: Optional[str] = None
+
+
+@dataclass
+class AggregateReport:
+    """A full aggregate report document."""
+
+    metadata: ReportMetadata
+    policy: PolicyPublished
+    rows: List[ReportRow] = field(default_factory=list)
+
+    @property
+    def message_count(self) -> int:
+        return sum(row.count for row in self.rows)
+
+    # -- XML ------------------------------------------------------------
+
+    def to_xml(self) -> str:
+        root = ET.Element("feedback")
+        meta = ET.SubElement(root, "report_metadata")
+        _text(meta, "org_name", self.metadata.org_name)
+        _text(meta, "email", self.metadata.email)
+        _text(meta, "report_id", self.metadata.report_id)
+        date_range = ET.SubElement(meta, "date_range")
+        _text(date_range, "begin", str(self.metadata.date_begin))
+        _text(date_range, "end", str(self.metadata.date_end))
+
+        published = ET.SubElement(root, "policy_published")
+        _text(published, "domain", self.policy.domain)
+        _text(published, "adkim", self.policy.adkim.value)
+        _text(published, "aspf", self.policy.aspf.value)
+        _text(published, "p", self.policy.policy.value)
+        if self.policy.subdomain_policy is not None:
+            _text(published, "sp", self.policy.subdomain_policy.value)
+        _text(published, "pct", str(self.policy.percent))
+
+        for row in self.rows:
+            record = ET.SubElement(root, "record")
+            row_element = ET.SubElement(record, "row")
+            _text(row_element, "source_ip", row.source_ip)
+            _text(row_element, "count", str(row.count))
+            evaluated = ET.SubElement(row_element, "policy_evaluated")
+            _text(evaluated, "disposition", row.disposition)
+            _text(evaluated, "dkim", row.dkim_aligned)
+            _text(evaluated, "spf", row.spf_aligned)
+            identifiers = ET.SubElement(record, "identifiers")
+            _text(identifiers, "header_from", row.header_from)
+            auth = ET.SubElement(record, "auth_results")
+            if row.spf_domain is not None:
+                spf = ET.SubElement(auth, "spf")
+                _text(spf, "domain", row.spf_domain)
+                _text(spf, "result", row.spf_result or "none")
+            if row.dkim_domain is not None:
+                dkim = ET.SubElement(auth, "dkim")
+                _text(dkim, "domain", row.dkim_domain)
+                _text(dkim, "result", row.dkim_result or "none")
+        return ET.tostring(root, encoding="unicode")
+
+    @classmethod
+    def from_xml(cls, text: str) -> "AggregateReport":
+        root = ET.fromstring(text)
+        if root.tag != "feedback":
+            raise ValueError("not a DMARC aggregate report")
+        meta = root.find("report_metadata")
+        date_range = meta.find("date_range")
+        metadata = ReportMetadata(
+            org_name=_get(meta, "org_name"),
+            email=_get(meta, "email"),
+            report_id=_get(meta, "report_id"),
+            date_begin=int(_get(date_range, "begin")),
+            date_end=int(_get(date_range, "end")),
+        )
+        published = root.find("policy_published")
+        policy = PolicyPublished(
+            domain=_get(published, "domain"),
+            policy=DmarcPolicy(_get(published, "p")),
+            subdomain_policy=(
+                DmarcPolicy(_get(published, "sp")) if published.find("sp") is not None else None
+            ),
+            adkim=AlignmentMode(_get(published, "adkim")),
+            aspf=AlignmentMode(_get(published, "aspf")),
+            percent=int(_get(published, "pct")),
+        )
+        report = cls(metadata=metadata, policy=policy)
+        for record in root.findall("record"):
+            row_element = record.find("row")
+            evaluated = row_element.find("policy_evaluated")
+            identifiers = record.find("identifiers")
+            auth = record.find("auth_results")
+            spf = auth.find("spf") if auth is not None else None
+            dkim = auth.find("dkim") if auth is not None else None
+            report.rows.append(
+                ReportRow(
+                    source_ip=_get(row_element, "source_ip"),
+                    count=int(_get(row_element, "count")),
+                    disposition=_get(evaluated, "disposition"),
+                    dkim_aligned=_get(evaluated, "dkim"),
+                    spf_aligned=_get(evaluated, "spf"),
+                    header_from=_get(identifiers, "header_from"),
+                    spf_domain=_get(spf, "domain") if spf is not None else None,
+                    spf_result=_get(spf, "result") if spf is not None else None,
+                    dkim_domain=_get(dkim, "domain") if dkim is not None else None,
+                    dkim_result=_get(dkim, "result") if dkim is not None else None,
+                )
+            )
+        return report
+
+
+def _text(parent: ET.Element, tag: str, value: str) -> None:
+    element = ET.SubElement(parent, tag)
+    element.text = value
+
+
+def _get(parent: Optional[ET.Element], tag: str) -> str:
+    if parent is None:
+        raise ValueError("missing element %r" % tag)
+    element = parent.find(tag)
+    if element is None or element.text is None:
+        raise ValueError("missing element %r" % tag)
+    return element.text
+
+
+# -- building reports from receiver state -------------------------------------
+
+
+def build_aggregate_report(
+    receiver,
+    domain: str,
+    org_name: Optional[str] = None,
+    period: Optional[Tuple[float, float]] = None,
+) -> Optional[AggregateReport]:
+    """Assemble the aggregate report one receiving MTA would send for
+    ``domain``, from its validation records and deliveries.
+
+    Returns ``None`` when the receiver never evaluated DMARC for the
+    domain (nothing to report).
+    """
+    from repro.mta.receiver import ReceivingMta  # local: avoid import cycle
+
+    assert isinstance(receiver, ReceivingMta)
+    domain = domain.rstrip(".").lower()
+    evaluations = [
+        v for v in receiver.validations if v.kind == "dmarc" and v.domain == domain
+    ]
+    if not evaluations:
+        return None
+    record: Optional[DmarcRecord] = None
+    for validation in evaluations:
+        outcome = validation.detail
+        if outcome is not None and getattr(outcome, "record", None) is not None:
+            record = outcome.record
+            break
+    policy = PolicyPublished.from_record(domain, record) if record else PolicyPublished(domain)
+
+    begin = min(v.t_started for v in evaluations)
+    end = max(v.t_completed for v in evaluations)
+    if period is not None:
+        begin, end = period
+
+    # One row per (source_ip, disposition, alignment) combination.
+    buckets: Dict[Tuple, ReportRow] = {}
+    for validation in evaluations:
+        outcome = validation.detail
+        source_ip = validation.client_ip or "0.0.0.0"
+        disposition = outcome.disposition.value if outcome else "none"
+        spf_aligned = "pass" if outcome and outcome.spf_aligned else "fail"
+        dkim_aligned = "pass" if outcome and outcome.dkim_aligned else "fail"
+        key = (source_ip, disposition, spf_aligned, dkim_aligned)
+        row = buckets.get(key)
+        if row is None:
+            row = ReportRow(
+                source_ip=source_ip,
+                count=0,
+                disposition=disposition,
+                dkim_aligned=dkim_aligned,
+                spf_aligned=spf_aligned,
+                header_from=domain,
+                spf_domain=domain if spf_aligned == "pass" else None,
+                spf_result="pass" if spf_aligned == "pass" else None,
+                dkim_domain=domain if dkim_aligned == "pass" else None,
+                dkim_result="pass" if dkim_aligned == "pass" else None,
+            )
+            buckets[key] = row
+        row.count += 1
+
+    metadata = ReportMetadata(
+        org_name=org_name or receiver.hostname,
+        email="noreply-dmarc@%s" % receiver.hostname,
+        report_id="%s-%d-%d" % (domain, int(begin), int(end)),
+        date_begin=int(begin),
+        date_end=int(end),
+    )
+    report = AggregateReport(metadata=metadata, policy=policy)
+    report.rows = list(buckets.values())
+    return report
+
+

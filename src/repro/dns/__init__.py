@@ -1,0 +1,71 @@
+"""A from-scratch DNS implementation.
+
+Covers everything the measurement system needs: a domain-name type with
+case-insensitive semantics, the record types SPF/DKIM/DMARC touch (A, AAAA,
+MX, TXT, SOA, NS, CNAME, PTR), a complete wire codec with name compression,
+zone storage, an authoritative server, and a caching resolver that falls
+back from UDP to TCP on truncation and can prefer IPv4 or IPv6 transport.
+"""
+
+from repro.dns.errors import (
+    DnsError,
+    FormError,
+    NameTooLong,
+    NoNameservers,
+    NxDomain,
+    ResolutionTimeout,
+    WireError,
+)
+from repro.dns.message import Flags, Message, Question
+from repro.dns.name import Name, root
+from repro.dns.rdata import (
+    AAAARecord,
+    ARecord,
+    CnameRecord,
+    MxRecord,
+    NsRecord,
+    PtrRecord,
+    Rcode,
+    RdataType,
+    ResourceRecord,
+    SoaRecord,
+    TxtRecord,
+)
+from repro.dns.resolver import Answer, Resolver, ResolverConfig
+from repro.dns.server import AuthoritativeServer, QueryLogEntry
+from repro.dns.zone import Zone
+from repro.dns.zonefile import ZoneFileError, parse_zone
+
+__all__ = [
+    "AAAARecord",
+    "ARecord",
+    "Answer",
+    "AuthoritativeServer",
+    "CnameRecord",
+    "DnsError",
+    "Flags",
+    "FormError",
+    "Message",
+    "MxRecord",
+    "Name",
+    "NameTooLong",
+    "NoNameservers",
+    "NsRecord",
+    "NxDomain",
+    "PtrRecord",
+    "Question",
+    "QueryLogEntry",
+    "Rcode",
+    "RdataType",
+    "ResolutionTimeout",
+    "Resolver",
+    "ResolverConfig",
+    "ResourceRecord",
+    "SoaRecord",
+    "TxtRecord",
+    "WireError",
+    "Zone",
+    "ZoneFileError",
+    "parse_zone",
+    "root",
+]

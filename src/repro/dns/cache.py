@@ -1,0 +1,61 @@
+"""TTL-bounded cache used by the resolver.
+
+Keys are ``(name.key, rdtype)``; values are whatever the resolver stores
+(positive and negative answers alike).  Expiry uses virtual time supplied
+by the caller, so the cache is as deterministic as everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Optional, Tuple, TypeVar
+
+from repro.dns.name import Name
+from repro.dns.rdata import RdataType
+
+V = TypeVar("V")
+
+
+class TtlCache(Generic[V]):
+    """A name/type-keyed cache with per-entry absolute expiry times."""
+
+    def __init__(self, max_entries: int = 100000) -> None:
+        self._entries: Dict[Tuple[Tuple[str, ...], RdataType], Tuple[float, V]] = {}
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, name: Name, rdtype: RdataType, now: float) -> Optional[V]:
+        key = (name.key, rdtype)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        expiry, value = entry
+        if now >= expiry:
+            del self._entries[key]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, name: Name, rdtype: RdataType, value: V, ttl: float, now: float) -> None:
+        if ttl <= 0:
+            return
+        if len(self._entries) >= self._max_entries:
+            # Simple wholesale eviction of expired entries, then oldest-expiry.
+            self._evict(now)
+        self._entries[(name.key, rdtype)] = (now + ttl, value)
+
+    def _evict(self, now: float) -> None:
+        expired = [key for key, (expiry, _) in self._entries.items() if expiry <= now]
+        for key in expired:
+            del self._entries[key]
+        while len(self._entries) >= self._max_entries:
+            victim = min(self._entries, key=lambda key: self._entries[key][0])
+            del self._entries[victim]
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,343 @@
+"""DNS wire-format codec (RFC 1035 section 4.1).
+
+Every DNS exchange in the simulation is serialised through this module, so
+the resolver and the authoritative servers really do speak the wire
+protocol: name compression pointers are emitted and followed, the TC bit
+controls the UDP 512-octet ceiling, and malformed input raises
+:class:`~repro.dns.errors.WireError` rather than being silently accepted.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.dns.errors import WireError
+from repro.dns.message import Flags, Message, Question
+from repro.dns.name import Name
+from repro.dns.rdata import (
+    AAAARecord,
+    ARecord,
+    CnameRecord,
+    MxRecord,
+    NsRecord,
+    PtrRecord,
+    Rclass,
+    Rdata,
+    RdataType,
+    ResourceRecord,
+    SoaRecord,
+    TxtRecord,
+)
+
+#: Classic UDP payload ceiling; responses longer than this set TC over UDP.
+UDP_PAYLOAD_LIMIT = 512
+
+#: EDNS0 OPT pseudo-RR type code (RFC 6891).
+OPT_TYPE = 41
+
+_POINTER_MASK = 0xC0
+_MAX_POINTER_HOPS = 64
+
+
+class _Encoder:
+    """Accumulates output octets and tracks compression targets."""
+
+    def __init__(self) -> None:
+        self.buffer = bytearray()
+        self._offsets: Dict[Tuple[str, ...], int] = {}
+
+    def u8(self, value: int) -> None:
+        self.buffer.append(value & 0xFF)
+
+    def u16(self, value: int) -> None:
+        self.buffer += struct.pack("!H", value & 0xFFFF)
+
+    def u32(self, value: int) -> None:
+        self.buffer += struct.pack("!I", value & 0xFFFFFFFF)
+
+    def raw(self, data: bytes) -> None:
+        self.buffer += data
+
+    def name(self, name: Name, compress: bool = True) -> None:
+        """Emit ``name``, using a compression pointer for any stored suffix."""
+        labels = name.labels
+        key = name.key
+        for index in range(len(labels)):
+            suffix_key = key[index:]
+            if compress and suffix_key in self._offsets:
+                pointer = self._offsets[suffix_key]
+                self.u16(0xC000 | pointer)
+                return
+            offset = len(self.buffer)
+            # Pointers only address the first 16 KiB minus the two flag bits.
+            if compress and offset < 0x4000:
+                self._offsets[suffix_key] = offset
+            label = labels[index].encode("ascii")
+            self.u8(len(label))
+            self.raw(label)
+        self.u8(0)  # root label
+
+    def character_string(self, text: str) -> None:
+        data = text.encode("utf-8")
+        if len(data) > 255:
+            raise WireError("character-string exceeds 255 octets")
+        self.u8(len(data))
+        self.raw(data)
+
+
+class _Decoder:
+    """Reads octets with bounds checking and pointer chasing."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.offset = 0
+
+    def _need(self, count: int, at: int) -> None:
+        if at + count > len(self.data):
+            raise WireError("truncated message: need %d octets at %d" % (count, at))
+
+    def u8(self) -> int:
+        self._need(1, self.offset)
+        value = self.data[self.offset]
+        self.offset += 1
+        return value
+
+    def u16(self) -> int:
+        self._need(2, self.offset)
+        (value,) = struct.unpack_from("!H", self.data, self.offset)
+        self.offset += 2
+        return value
+
+    def u32(self) -> int:
+        self._need(4, self.offset)
+        (value,) = struct.unpack_from("!I", self.data, self.offset)
+        self.offset += 4
+        return value
+
+    def raw(self, count: int) -> bytes:
+        self._need(count, self.offset)
+        chunk = self.data[self.offset : self.offset + count]
+        self.offset += count
+        return chunk
+
+    def name(self) -> Name:
+        """Decode a (possibly compressed) name starting at the cursor."""
+        labels: List[str] = []
+        cursor = self.offset
+        jumped = False
+        hops = 0
+        while True:
+            self._need(1, cursor)
+            length = self.data[cursor]
+            if length & _POINTER_MASK == _POINTER_MASK:
+                self._need(2, cursor)
+                pointer = struct.unpack_from("!H", self.data, cursor)[0] & 0x3FFF
+                if not jumped:
+                    self.offset = cursor + 2
+                    jumped = True
+                if pointer >= cursor:
+                    raise WireError("forward compression pointer")
+                cursor = pointer
+                hops += 1
+                if hops > _MAX_POINTER_HOPS:
+                    raise WireError("compression pointer loop")
+                continue
+            if length & _POINTER_MASK:
+                raise WireError("reserved label type 0x%02x" % (length & _POINTER_MASK))
+            cursor += 1
+            if length == 0:
+                if not jumped:
+                    self.offset = cursor
+                break
+            self._need(length, cursor)
+            labels.append(self.data[cursor : cursor + length].decode("ascii", "strict"))
+            cursor += length
+        return Name(labels)
+
+    def character_string(self) -> str:
+        length = self.u8()
+        return self.raw(length).decode("utf-8", "strict")
+
+
+# -- rdata codecs -----------------------------------------------------------
+
+
+def _encode_rdata(encoder: _Encoder, rdata: Rdata) -> None:
+    """Emit rdata, preceded by its RDLENGTH, patching the length afterwards.
+
+    Compression inside rdata is applied only for the name-bearing types
+    RFC 1035 allows compression for (NS, CNAME, PTR, MX, SOA).
+    """
+    length_at = len(encoder.buffer)
+    encoder.u16(0)  # placeholder
+    start = len(encoder.buffer)
+    if isinstance(rdata, ARecord):
+        encoder.raw(bytes(int(part) for part in rdata.address.split(".")))
+    elif isinstance(rdata, AAAARecord):
+        import ipaddress
+
+        encoder.raw(ipaddress.IPv6Address(rdata.address).packed)
+    elif isinstance(rdata, (NsRecord, CnameRecord, PtrRecord)):
+        encoder.name(rdata.target)
+    elif isinstance(rdata, MxRecord):
+        encoder.u16(rdata.preference)
+        encoder.name(rdata.exchange)
+    elif isinstance(rdata, TxtRecord):
+        for part in rdata.strings:
+            encoder.character_string(part)
+    elif isinstance(rdata, SoaRecord):
+        encoder.name(rdata.mname)
+        encoder.name(rdata.rname)
+        for value in (rdata.serial, rdata.refresh, rdata.retry, rdata.expire, rdata.minimum):
+            encoder.u32(value)
+    else:
+        raise WireError("cannot encode rdata type %r" % type(rdata).__name__)
+    rdlength = len(encoder.buffer) - start
+    struct.pack_into("!H", encoder.buffer, length_at, rdlength)
+
+
+def _decode_rdata(decoder: _Decoder, rdtype: int, rdlength: int) -> Rdata:
+    end = decoder.offset + rdlength
+    if rdtype == RdataType.A:
+        if rdlength != 4:
+            raise WireError("A rdata must be 4 octets")
+        rdata: Rdata = ARecord(".".join(str(b) for b in decoder.raw(4)))
+    elif rdtype == RdataType.AAAA:
+        if rdlength != 16:
+            raise WireError("AAAA rdata must be 16 octets")
+        import ipaddress
+
+        rdata = AAAARecord(str(ipaddress.IPv6Address(decoder.raw(16))))
+    elif rdtype == RdataType.NS:
+        rdata = NsRecord(decoder.name())
+    elif rdtype == RdataType.CNAME:
+        rdata = CnameRecord(decoder.name())
+    elif rdtype == RdataType.PTR:
+        rdata = PtrRecord(decoder.name())
+    elif rdtype == RdataType.MX:
+        preference = decoder.u16()
+        rdata = MxRecord(preference, decoder.name())
+    elif rdtype == RdataType.TXT:
+        strings: List[str] = []
+        while decoder.offset < end:
+            strings.append(decoder.character_string())
+        rdata = TxtRecord(strings)
+    elif rdtype == RdataType.SOA:
+        mname = decoder.name()
+        rname = decoder.name()
+        serial = decoder.u32()
+        refresh = decoder.u32()
+        retry = decoder.u32()
+        expire = decoder.u32()
+        minimum = decoder.u32()
+        rdata = SoaRecord(mname, rname, serial, refresh, retry, expire, minimum)
+    else:
+        raise WireError("cannot decode rdata type %d" % rdtype)
+    if decoder.offset != end:
+        raise WireError("rdata length mismatch for type %d" % rdtype)
+    return rdata
+
+
+# -- message codec -----------------------------------------------------------
+
+
+def to_wire(message: Message) -> bytes:
+    """Serialise a :class:`~repro.dns.message.Message` to wire format."""
+    encoder = _Encoder()
+    encoder.u16(message.msg_id)
+    encoder.u16(message.flags.to_int())
+    encoder.u16(len(message.question))
+    encoder.u16(len(message.answer))
+    encoder.u16(len(message.authority))
+    arcount = len(message.additional) + (1 if message.edns_payload is not None else 0)
+    encoder.u16(arcount)
+    for question in message.question:
+        encoder.name(question.name)
+        encoder.u16(int(question.rdtype))
+        encoder.u16(int(question.rdclass))
+    for rr in message.answer + message.authority + message.additional:
+        encoder.name(rr.name)
+        encoder.u16(int(rr.rdtype))
+        encoder.u16(int(Rclass.IN))
+        encoder.u32(rr.ttl)
+        _encode_rdata(encoder, rr.rdata)
+    if message.edns_payload is not None:
+        # OPT pseudo-RR: root owner, CLASS carries the UDP payload size.
+        encoder.u8(0)  # root name
+        encoder.u16(OPT_TYPE)
+        encoder.u16(message.edns_payload & 0xFFFF)
+        encoder.u32(0)  # extended RCODE and flags, all clear
+        encoder.u16(0)  # no options
+    return bytes(encoder.buffer)
+
+
+def from_wire(data: bytes) -> Message:
+    """Parse wire-format bytes into a :class:`~repro.dns.message.Message`."""
+    decoder = _Decoder(data)
+    msg_id = decoder.u16()
+    flags = Flags.from_int(decoder.u16())
+    qdcount = decoder.u16()
+    ancount = decoder.u16()
+    nscount = decoder.u16()
+    arcount = decoder.u16()
+    message = Message(msg_id=msg_id, flags=flags)
+    for _ in range(qdcount):
+        qname = decoder.name()
+        rdtype = decoder.u16()
+        rdclass = decoder.u16()
+        try:
+            question = Question(qname, RdataType(rdtype), Rclass(rdclass))
+        except ValueError as exc:
+            raise WireError(str(exc)) from exc
+        message.question.append(question)
+    for section, count in (
+        (message.answer, ancount),
+        (message.authority, nscount),
+        (message.additional, arcount),
+    ):
+        for _ in range(count):
+            name = decoder.name()
+            rdtype = decoder.u16()
+            rdclass = decoder.u16()
+            ttl = decoder.u32()
+            rdlength = decoder.u16()
+            if rdtype == OPT_TYPE:
+                # EDNS0: the class field is the advertised payload size.
+                message.edns_payload = rdclass
+                decoder.raw(rdlength)  # skip any options
+                continue
+            rdata = _decode_rdata(decoder, rdtype, rdlength)
+            section.append(ResourceRecord(name, ttl, rdata))
+    return message
+
+
+def truncate_for_udp(message: Message, limit: Optional[int] = None) -> Tuple[bytes, bool]:
+    """Serialise for UDP, honouring the payload ``limit``.
+
+    ``limit`` defaults to the message's negotiated EDNS payload size, or
+    the classic 512 octets without EDNS.  Returns ``(wire, truncated)``.
+    If the full encoding does not fit, the record sections are emptied and
+    TC is set, which is how the paper's ``tcp_only`` test policy forces
+    resolvers onto TCP.
+    """
+    if limit is None:
+        limit = message.edns_payload if message.edns_payload else UDP_PAYLOAD_LIMIT
+    wire = to_wire(message)
+    if len(wire) <= limit:
+        return wire, False
+    stub = Message(
+        msg_id=message.msg_id,
+        flags=Flags(
+            qr=message.flags.qr,
+            aa=message.flags.aa,
+            tc=True,
+            rd=message.flags.rd,
+            ra=message.flags.ra,
+            opcode=message.flags.opcode,
+            rcode=message.flags.rcode,
+        ),
+        question=list(message.question),
+        edns_payload=message.edns_payload,
+    )
+    return to_wire(stub), True

@@ -1,0 +1,28 @@
+"""Mail transfer agents for the simulated world.
+
+:class:`~repro.mta.behavior.MtaBehavior` captures every axis of receiving-
+MTA behaviour the paper measures; :class:`~repro.mta.receiver.ReceivingMta`
+executes a behaviour faithfully on top of the real SPF/DKIM/DMARC engines;
+:class:`~repro.mta.sender.SendingMta` plays the Exim role of the
+NotifyEmail experiment; and :mod:`repro.mta.fleet` samples whole
+populations of receivers from the distributions the paper reports.
+"""
+
+from repro.mta.authres import AuthenticationResults, MethodResult
+from repro.mta.behavior import MtaBehavior, SpfTrigger
+from repro.mta.fleet import BehaviorDistribution, sample_behavior
+from repro.mta.receiver import ReceivingMta, ValidationRecord
+from repro.mta.sender import DeliveryRecord, SendingMta
+
+__all__ = [
+    "AuthenticationResults",
+    "BehaviorDistribution",
+    "MethodResult",
+    "DeliveryRecord",
+    "MtaBehavior",
+    "ReceivingMta",
+    "SendingMta",
+    "SpfTrigger",
+    "ValidationRecord",
+    "sample_behavior",
+]

@@ -1,0 +1,96 @@
+"""Authentication-Results headers (RFC 8601).
+
+Receiving MTAs record their SPF/DKIM/DMARC verdicts in an
+``Authentication-Results`` header before handing a message to delivery;
+downstream filters (and measurement researchers grepping mail corpora)
+read them back.  This module serialises and parses the header format and
+is wired into :class:`~repro.mta.receiver.ReceivingMta`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+HEADER_NAME = "Authentication-Results"
+
+_RESULT_RE = re.compile(r"^([a-zA-Z0-9-]+)\s*=\s*([a-zA-Z0-9]+)\s*(.*)$")
+_PROP_RE = re.compile(r"([a-zA-Z0-9-]+)\.([a-zA-Z0-9_-]+)\s*=\s*([^\s;]+)")
+
+
+@dataclass
+class MethodResult:
+    """One ``method=result`` clause with its property/value pairs."""
+
+    method: str  # "spf" | "dkim" | "dmarc" | ...
+    result: str  # "pass" | "fail" | "none" | ...
+    properties: List[Tuple[str, str, str]] = field(default_factory=list)
+    reason: Optional[str] = None
+
+    def add_property(self, ptype: str, name: str, value: str) -> "MethodResult":
+        self.properties.append((ptype, name, value))
+        return self
+
+    def to_text(self) -> str:
+        parts = ["%s=%s" % (self.method, self.result)]
+        if self.reason:
+            parts.append('reason="%s"' % self.reason.replace('"', "'"))
+        for ptype, name, value in self.properties:
+            parts.append("%s.%s=%s" % (ptype, name, value))
+        return " ".join(parts)
+
+
+@dataclass
+class AuthenticationResults:
+    """A full header value: authserv-id plus method results."""
+
+    authserv_id: str
+    results: List[MethodResult] = field(default_factory=list)
+
+    def add(self, method: str, result: str, **properties: str) -> MethodResult:
+        """Append one method result; keyword args become properties using
+        the conventional ptype for the method (``smtp`` for spf,
+        ``header`` for dkim/dmarc)."""
+        entry = MethodResult(method, result)
+        default_ptype = {"spf": "smtp", "dkim": "header", "dmarc": "header"}.get(method, "policy")
+        for name, value in properties.items():
+            entry.add_property(default_ptype, name, value)
+        self.results.append(entry)
+        return entry
+
+    def result_for(self, method: str) -> Optional[MethodResult]:
+        for entry in self.results:
+            if entry.method == method:
+                return entry
+        return None
+
+    def to_header_value(self) -> str:
+        if not self.results:
+            return "%s; none" % self.authserv_id
+        clauses = "; ".join(entry.to_text() for entry in self.results)
+        return "%s; %s" % (self.authserv_id, clauses)
+
+    @classmethod
+    def from_header_value(cls, text: str) -> "AuthenticationResults":
+        segments = [segment.strip() for segment in text.split(";")]
+        if not segments or not segments[0]:
+            raise ValueError("empty Authentication-Results value")
+        # The authserv-id may carry an optional version number.
+        authserv_id = segments[0].split()[0]
+        parsed = cls(authserv_id)
+        for segment in segments[1:]:
+            if not segment or segment == "none":
+                continue
+            match = _RESULT_RE.match(segment)
+            if match is None:
+                raise ValueError("malformed resinfo clause: %r" % segment)
+            method, result, rest = match.groups()
+            entry = MethodResult(method.lower(), result.lower())
+            reason_match = re.search(r'reason="([^"]*)"', rest)
+            if reason_match:
+                entry.reason = reason_match.group(1)
+            for ptype, name, value in _PROP_RE.findall(rest):
+                entry.add_property(ptype, name, value)
+            parsed.results.append(entry)
+        return parsed

@@ -1,0 +1,134 @@
+"""Receiving-MTA behaviour profiles.
+
+One :class:`MtaBehavior` captures everything the paper can observe about a
+receiving MTA, from whether it validates at all, through when it validates
+(during SMTP or after delivery), to every RFC deviation of Section 7.  The
+profile translates mechanically into the configuration of the SPF
+evaluator and the resolver, so the *same* protocol engines produce both
+compliant and wild behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from repro.dns.resolver import ResolverConfig
+from repro.spf.evaluator import SpfConfig
+
+
+class SpfTrigger(enum.Enum):
+    """When during the SMTP dialogue SPF validation is initiated.
+
+    The paper's Figure 2 shows 83% of domains validating before message
+    delivery completes and 17% only afterwards; probes that never transmit
+    a message (NotifyMX / TwoWeekMX) are invisible to the late group.
+    """
+
+    ON_MAIL = "mail"  # synchronously while answering MAIL
+    ON_RCPT = "rcpt"  # synchronously while answering RCPT
+    ON_DATA = "data"  # synchronously while answering DATA
+    POST_DELIVERY = "post_delivery"  # queued after the message is accepted
+
+
+@dataclass
+class MtaBehavior:
+    """Everything configurable about one receiving MTA.
+
+    The defaults describe a well-behaved, fully-validating, RFC-strict
+    server; the fleet generator perturbs them according to the measured
+    distributions.
+    """
+
+    # -- which mechanisms are validated at all (paper Table 4) ----------
+    validates_spf: bool = True
+    validates_dkim: bool = True
+    validates_dmarc: bool = True
+    #: Fetches the SPF policy TXT but never resolves its mechanisms — the
+    #: 3.0% "partial validators" of Section 6.1.
+    spf_fetch_only: bool = False
+
+    # -- when SPF runs (Section 6.2 / Figure 2) -----------------------
+    spf_trigger: SpfTrigger = SpfTrigger.ON_MAIL
+    #: Seconds after delivery at which a POST_DELIVERY validator runs.
+    post_delivery_delay: float = 5.0
+
+    # -- SPF evaluation deviations (Section 7) ---------------------------
+    spf_parallel_lookups: bool = False  # 3% of MTAs prefetch in parallel
+    spf_max_dns_mechanisms: Optional[int] = 10  # None: no limit (28% ran all 46)
+    spf_max_void_lookups: Optional[int] = 2  # None: no limit (64% did all 5)
+    spf_max_mx_addresses: Optional[int] = 10  # None: no limit (64% did all 20)
+    spf_tolerant_syntax: bool = False  # 5.5% keep going past errors
+    spf_ignore_child_permerror: bool = False  # 12.3% ignore child errors
+    spf_on_multiple_records: str = "permerror"  # 23% follow one record
+    spf_mx_a_fallback: bool = False  # 14% do the illegal A fallback
+    spf_timeout: Optional[float] = None  # validation wall-clock budget
+    #: Checks the HELO identity's policy before MAIL (5.0% of MTAs); every
+    #: one observed then ignored the HELO verdict, so there is no knob for
+    #: honouring it.
+    checks_helo: bool = False
+
+    # -- resolver properties (Section 7.3) ------------------------------
+    resolver_tcp_fallback: bool = True  # 2 of 1,336 lacked it
+    resolver_ipv6_capable: bool = True  # 49% reached IPv6-only servers
+    resolver_prefer_ipv6: bool = False
+    #: EDNS0 support: modern resolvers advertise ~1232-octet payloads;
+    #: legacy ones live with the 512-octet ceiling and truncation retries.
+    resolver_edns: bool = True
+
+    # -- SMTP-level policy ----------------------------------------------
+    #: Local users that exist besides ``postmaster``.
+    valid_users: FrozenSet[str] = field(default_factory=frozenset)
+    accepts_any_recipient: bool = False
+    accepts_postmaster: bool = True
+    #: Skips sender validation when the only recipient is postmaster —
+    #: the whitelisting the paper blames for part of the low TwoWeekMX
+    #: rate (Section 6.3).
+    whitelists_postmaster: bool = False
+    #: Rejects the probe source early with a DNSBL-style error; the text
+    #: is what the paper greps for ("spam" 27%, "blacklist" 3%).
+    blacklist_rejection: Optional[str] = None  # None / "spam" / "blacklist"
+    #: Greylisting: temporarily reject the first contact from a new
+    #: (client, sender, recipient) triple with a 451; accept the retry.
+    #: This is what produced the multi-day timestamp outliers the paper's
+    #: Figure 2 analysis filters out (an early attempt triggers SPF, the
+    #: eventual delivery happens much later).
+    greylists: bool = False
+    greylist_window: float = 300.0  # retry must come at least this much later
+    #: Enforce DMARC reject/quarantine dispositions on delivery.
+    enforces_dmarc: bool = True
+    #: Server-side processing delay before the 354 reply to DATA (content
+    #: scanning setup, greylisting checks, ...).
+    data_processing_delay: float = 0.0
+    #: Server-side processing delay before the final 250 acceptance —
+    #: queueing and content scanning; this is what separates a MAIL-time
+    #: SPF lookup from the delivery timestamp in the Figure 2 analysis.
+    acceptance_delay: float = 0.0
+
+    def spf_config(self) -> SpfConfig:
+        """The evaluator configuration this behaviour induces."""
+        return SpfConfig(
+            max_dns_mechanisms=self.spf_max_dns_mechanisms,
+            max_void_lookups=self.spf_max_void_lookups,
+            max_mx_addresses=self.spf_max_mx_addresses,
+            tolerant_syntax=self.spf_tolerant_syntax,
+            ignore_child_permerror=self.spf_ignore_child_permerror,
+            on_multiple_records=self.spf_on_multiple_records,
+            parallel_lookups=self.spf_parallel_lookups,
+            mx_a_fallback=self.spf_mx_a_fallback,
+            overall_timeout=self.spf_timeout,
+            fetch_only=self.spf_fetch_only,
+        )
+
+    def resolver_config(self) -> ResolverConfig:
+        return ResolverConfig(
+            tcp_fallback=self.resolver_tcp_fallback,
+            ipv6_capable=self.resolver_ipv6_capable,
+            prefer_ipv6=self.resolver_prefer_ipv6,
+            edns_payload=1232 if self.resolver_edns else None,
+        )
+
+    @property
+    def validates_anything(self) -> bool:
+        return self.validates_spf or self.validates_dkim or self.validates_dmarc

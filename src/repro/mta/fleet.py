@@ -1,0 +1,250 @@
+"""Sampling receiving-MTA behaviours from the paper's measured distributions.
+
+The paper measures a *population*; we need the inverse: a population whose
+measurement reproduces the paper's numbers.  :class:`BehaviorDistribution`
+holds the marginals (each annotated with the paper section it comes from),
+and :func:`sample_behavior` draws one concrete
+:class:`~repro.mta.behavior.MtaBehavior` with a seeded RNG.
+
+Three presets correspond to the three experiments:
+
+``NOTIFY_EMAIL_PROFILE``
+    Domains that received a real notification email; validation combos per
+    Table 4, no blacklisting, a real recipient mailbox.
+``NOTIFY_MX_PROFILE``
+    The same population nine months later, as seen by a probe with a
+    soured sender reputation: 27% reject citing spam, 3% citing a
+    blacklist (Section 6.2).
+``TWO_WEEK_MX_PROFILE``
+    The BYU-outbound population: recipients are guessed, most MTAs fall
+    back to postmaster and many of those whitelist it (Section 6.3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.mta.behavior import MtaBehavior, SpfTrigger
+
+#: Joint (SPF, DKIM, DMARC) validation weights — paper Table 4 row counts.
+TABLE4_COMBO_WEIGHTS: Dict[Tuple[bool, bool, bool], float] = {
+    (True, True, True): 14056,
+    (True, True, False): 6322,
+    (False, False, False): 4456,
+    (True, False, False): 2156,
+    (False, True, False): 1436,
+    (False, False, True): 211,
+    (True, False, True): 169,
+    (False, True, True): 0,
+}
+
+
+@dataclass
+class BehaviorDistribution:
+    """Marginal distributions for sampling MTA behaviours."""
+
+    #: Joint weights over (validates_spf, validates_dkim, validates_dmarc).
+    combo_weights: Dict[Tuple[bool, bool, bool], float] = field(
+        default_factory=lambda: dict(TABLE4_COMBO_WEIGHTS)
+    )
+    #: Fraction of SPF validators that fetch the policy but never evaluate
+    #: it (paper s6.1: 690 of 22,703 = 3.0%).
+    p_fetch_only: float = 0.030
+    #: Fraction of SPF validators that validate only after delivery
+    #: (paper Fig. 2: 17%).
+    p_post_delivery: float = 0.17
+    #: Trigger mix within the during-SMTP group.
+    trigger_weights: Dict[SpfTrigger, float] = field(
+        default_factory=lambda: {
+            SpfTrigger.ON_MAIL: 0.60,
+            SpfTrigger.ON_RCPT: 0.25,
+            SpfTrigger.ON_DATA: 0.15,
+        }
+    )
+    #: Post-delivery validation delay range (seconds); Fig. 2 shows 91% of
+    #: |differences| under 30 s with a tail beyond.
+    post_delivery_delay_range: Tuple[float, float] = (1.0, 25.0)
+    p_post_delivery_long_tail: float = 0.09
+    post_delivery_tail_range: Tuple[float, float] = (30.0, 300.0)
+
+    # -- Section 7 deviations (all conditioned on validating SPF) ---------
+    p_parallel_lookups: float = 0.03  # s7.1: 97% serial
+    #: s7.2: 61% halt before 10 lookups, 28% run all 46, rest stop midway.
+    lookup_limit_weights: Dict[str, float] = field(
+        default_factory=lambda: {"enforced": 0.61, "unlimited": 0.28, "timeout": 0.11}
+    )
+    timeout_range: Tuple[float, float] = (8.0, 30.0)
+    #: s7.3 void lookups: the 3% observed respecting the limit are mostly
+    #: the fetch-only partial validators (who issue no mechanism lookups
+    #: at all); almost nobody enforces the limit of two, 64% chase all
+    #: five voids, the rest stop at three or four.
+    void_limit_weights: Dict[Optional[int], float] = field(
+        default_factory=lambda: {2: 0.005, 3: 0.17, 4: 0.185, None: 0.64}
+    )
+    p_helo_check: float = 0.050  # s7.3: 73 of 1,473
+    p_tolerant_syntax: float = 0.055  # s7.3: 79 of 1,444
+    #: Conditional on NOT being syntax-tolerant (tolerant validators sail
+    #: past child errors anyway); (0.123-0.055)/0.945 keeps the observable
+    #: continue-past-child-error rate at the paper's 12.3%.
+    p_ignore_child_permerror: float = 0.072
+    #: s7.3 multiple records: 77% permerror, 23% follow exactly one.
+    multiple_records_weights: Dict[str, float] = field(
+        default_factory=lambda: {"permerror": 0.77, "first": 0.135, "last": 0.095}
+    )
+    p_mx_a_fallback: float = 0.14  # s7.3: 189 of 1,338
+    #: s7.3 mx-address limit: 7.7% stop at 10, 64% do all 20, rest midway.
+    mx_limit_weights: Dict[Optional[int], float] = field(
+        default_factory=lambda: {10: 0.077, 14: 0.283, None: 0.64}
+    )
+    p_no_tcp_fallback: float = 2.0 / 1336.0  # s7.3
+    p_ipv6_resolver: float = 0.49  # s7.3
+    p_edns_resolver: float = 0.85  # RFC 6891 deployment circa 2021
+
+    # -- SMTP-level policy ------------------------------------------------
+    p_blacklist_spam: float = 0.0  # s6.2 (NotifyMX): 27%
+    p_blacklist_blacklist: float = 0.0  # s6.2 (NotifyMX): 3%
+    p_whitelists_postmaster: float = 0.0  # s6.3 (TwoWeekMX)
+    p_accepts_any_recipient: float = 1.0  # catch-all / real recipient known
+    p_rejects_all_recipients: float = 0.0  # s6.3: 6.4% invalid recipient
+    common_users: Sequence[str] = ("michael", "john.smith", "support")
+    p_enforces_dmarc: float = 0.9
+    #: Greylisting deployment — the source of the paper's removed
+    #: "several days" timestamp outliers (an early rejected attempt
+    #: triggers SPF; the accepted retry delivers much later).
+    p_greylists: float = 0.02
+    #: Processing delay before the 354 reply to DATA.
+    data_delay_range: Tuple[float, float] = (0.0, 2.0)
+    #: Mixture over (low, high) ranges for the final-acceptance delay —
+    #: queueing/content-scan time separating a MAIL-time SPF lookup from
+    #: the delivery timestamp (shapes Figure 2's left tail).
+    acceptance_delay_mixture: Sequence[Tuple[Tuple[float, float], float]] = (
+        ((0.2, 5.0), 0.55),
+        ((5.0, 20.0), 0.30),
+        ((20.0, 60.0), 0.13),
+        ((60.0, 240.0), 0.02),
+    )
+
+
+def sample_behavior(
+    rng: random.Random,
+    dist: Optional[BehaviorDistribution] = None,
+    combo: Optional[Tuple[bool, bool, bool]] = None,
+) -> MtaBehavior:
+    """Draw one MTA behaviour from ``dist`` using ``rng``.
+
+    ``combo`` forces the (SPF, DKIM, DMARC) validation triple — used when
+    the caller conditions validation quality on something external, like
+    Alexa membership — while every other knob is still sampled.
+    """
+    if dist is None:
+        dist = BehaviorDistribution()
+    if combo is None:
+        combo = _weighted(rng, list(dist.combo_weights.items()))
+    spf, dkim, dmarc = combo
+    behavior = MtaBehavior(validates_spf=spf, validates_dkim=dkim, validates_dmarc=dmarc)
+
+    if spf:
+        behavior.spf_fetch_only = rng.random() < dist.p_fetch_only
+        if rng.random() < dist.p_post_delivery:
+            behavior.spf_trigger = SpfTrigger.POST_DELIVERY
+            if rng.random() < dist.p_post_delivery_long_tail:
+                behavior.post_delivery_delay = rng.uniform(*dist.post_delivery_tail_range)
+            else:
+                behavior.post_delivery_delay = rng.uniform(*dist.post_delivery_delay_range)
+        else:
+            behavior.spf_trigger = _weighted(rng, list(dist.trigger_weights.items()))
+        behavior.spf_parallel_lookups = rng.random() < dist.p_parallel_lookups
+        limit_mode = _weighted(rng, list(dist.lookup_limit_weights.items()))
+        if limit_mode == "enforced":
+            behavior.spf_max_dns_mechanisms = 10
+        elif limit_mode == "unlimited":
+            behavior.spf_max_dns_mechanisms = None
+        else:
+            behavior.spf_max_dns_mechanisms = None
+            behavior.spf_timeout = rng.uniform(*dist.timeout_range)
+        behavior.spf_max_void_lookups = _weighted(rng, list(dist.void_limit_weights.items()))
+        behavior.spf_max_mx_addresses = _weighted(rng, list(dist.mx_limit_weights.items()))
+        behavior.checks_helo = rng.random() < dist.p_helo_check
+        behavior.spf_tolerant_syntax = rng.random() < dist.p_tolerant_syntax
+        behavior.spf_ignore_child_permerror = (
+            not behavior.spf_tolerant_syntax
+            and rng.random() < dist.p_ignore_child_permerror
+        )
+        behavior.spf_on_multiple_records = _weighted(rng, list(dist.multiple_records_weights.items()))
+        behavior.spf_mx_a_fallback = rng.random() < dist.p_mx_a_fallback
+
+    behavior.resolver_tcp_fallback = rng.random() >= dist.p_no_tcp_fallback
+    behavior.resolver_ipv6_capable = rng.random() < dist.p_ipv6_resolver
+    behavior.resolver_edns = rng.random() < dist.p_edns_resolver
+
+    roll = rng.random()
+    if roll < dist.p_blacklist_spam:
+        behavior.blacklist_rejection = "spam"
+    elif roll < dist.p_blacklist_spam + dist.p_blacklist_blacklist:
+        behavior.blacklist_rejection = "blacklist"
+
+    behavior.whitelists_postmaster = rng.random() < dist.p_whitelists_postmaster
+    recipient_roll = rng.random()
+    if recipient_roll < dist.p_rejects_all_recipients:
+        behavior.accepts_any_recipient = False
+        behavior.accepts_postmaster = False
+        behavior.valid_users = frozenset()
+    elif recipient_roll < dist.p_rejects_all_recipients + dist.p_accepts_any_recipient:
+        behavior.accepts_any_recipient = True
+    else:
+        behavior.accepts_any_recipient = False
+        behavior.accepts_postmaster = True
+        # A random subset of common usernames actually exists.
+        behavior.valid_users = frozenset(
+            user for user in dist.common_users if rng.random() < 0.05
+        )
+    behavior.enforces_dmarc = rng.random() < dist.p_enforces_dmarc
+    behavior.greylists = rng.random() < dist.p_greylists
+    behavior.data_processing_delay = rng.uniform(*dist.data_delay_range)
+    low_high = _weighted(rng, [(range_, weight) for range_, weight in dist.acceptance_delay_mixture])
+    behavior.acceptance_delay = rng.uniform(*low_high)
+    return behavior
+
+
+def _weighted(rng: random.Random, items):
+    """Pick a key from ``[(key, weight), ...]``."""
+    total = sum(weight for _, weight in items)
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    point = rng.random() * total
+    accumulated = 0.0
+    for key, weight in items:
+        accumulated += weight
+        if point < accumulated:
+            return key
+    return items[-1][0]
+
+
+#: Preset: the NotifyEmail population (Section 6.1).
+NOTIFY_EMAIL_PROFILE = BehaviorDistribution()
+
+#: Preset: the same MTAs during NotifyMX, with the probe's reputation
+#: fallout added (Section 6.2).
+NOTIFY_MX_PROFILE = BehaviorDistribution(
+    p_blacklist_spam=0.27,
+    p_blacklist_blacklist=0.03,
+    p_accepts_any_recipient=0.60,
+    p_rejects_all_recipients=0.064,
+)
+
+#: Preset: the TwoWeekMX population (Section 6.3).  Underlying validation
+#: follows Table 4, but the probe sees only a sliver of it: recipients are
+#: guessed (postmaster ends up used for ~69% of MTAs, and most such MTAs
+#: whitelist it past sender validation), some MTAs reject every guessed
+#: recipient (6.4%), and a large share of this provider-heavy population
+#: validates only after content acceptance — invisible to a probe that
+#: never transmits a message.  Calibrated to the observed ~13-14%
+#: SPF-validation rate while keeping Table 4 as the underlying truth.
+TWO_WEEK_MX_PROFILE = BehaviorDistribution(
+    p_post_delivery=0.40,
+    p_whitelists_postmaster=0.92,
+    p_accepts_any_recipient=0.246,
+    p_rejects_all_recipients=0.085,
+)

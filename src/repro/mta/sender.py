@@ -1,0 +1,183 @@
+"""The sending MTA (the Exim role in the NotifyEmail experiment).
+
+Implements standards-following outbound delivery: MX resolution with
+preference ordering and the implicit-MX fallback, address resolution for
+each exchange, dual-stack connection attempts, and the full SMTP dialogue
+— optionally DKIM-signing each message on the way out.  Delivery
+timestamps are recorded because the paper's Figure 2 compares them with
+SPF-lookup timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.dkim.sign import DkimSigner
+from repro.dns.rdata import RdataType
+from repro.dns.resolver import AuthorityDirectory, Resolver
+from repro.net.network import Network, is_ipv6
+from repro.smtp.client import SmtpClient
+from repro.smtp.errors import SmtpClientError
+from repro.smtp.message import EmailMessage
+from repro.smtp.protocol import Reply
+
+
+@dataclass
+class DeliveryRecord:
+    """The outcome of one delivery attempt chain for one message."""
+
+    recipient: str
+    success: bool
+    mta_ip: Optional[str] = None
+    mx_host: Optional[str] = None
+    reply: Optional[Reply] = None
+    error: Optional[str] = None
+    t_started: float = 0.0
+    t_delivered: Optional[float] = None
+    attempts: List[str] = field(default_factory=list)
+
+    @property
+    def accepted_with_250(self) -> bool:
+        return self.success and self.reply is not None and self.reply.code == 250
+
+
+class SendingMta:
+    """An outbound mail server bound to fixed source addresses."""
+
+    def __init__(
+        self,
+        hostname: str,
+        network: Network,
+        directory: AuthorityDirectory,
+        ipv4: str,
+        ipv6: Optional[str] = None,
+        signer: Optional[DkimSigner] = None,
+        prefer_ipv6: bool = False,
+    ) -> None:
+        self.hostname = hostname
+        self.network = network
+        self.ipv4 = ipv4
+        self.ipv6 = ipv6
+        self.signer = signer
+        self.prefer_ipv6 = prefer_ipv6
+        self.resolver = Resolver(network, directory, address4=ipv4, address6=ipv6)
+        self.log: List[DeliveryRecord] = []
+        network.add_address(ipv4)
+        if ipv6:
+            network.add_address(ipv6)
+
+    # -- target discovery ------------------------------------------------
+
+    def resolve_targets(self, domain: str, t: float) -> Tuple[List[Tuple[str, str]], float]:
+        """(mx_host, address) pairs in delivery-preference order.
+
+        MX records sorted by preference; a domain with no MX at all gets
+        the RFC 5321 implicit-MX treatment (its own A/AAAA).
+        """
+        answer, t = self.resolver.query_at(domain, RdataType.MX, t)
+        exchanges = [rr.rdata for rr in answer.records if rr.rdtype == RdataType.MX]
+        exchanges.sort(key=lambda mx: mx.preference)
+        hosts = [mx.exchange.to_text(omit_final_dot=True) for mx in exchanges]
+        if not hosts:
+            hosts = [domain]
+        targets: List[Tuple[str, str]] = []
+        for host in hosts:
+            addresses, t = self.resolver.resolve_addresses(host, t, want_ipv6=self.ipv6 is not None)
+            ordered = sorted(addresses, key=lambda a: is_ipv6(a) != self.prefer_ipv6)
+            targets.extend((host, address) for address in ordered)
+        return targets, t
+
+    # -- delivery -----------------------------------------------------------
+
+    def send(
+        self,
+        message: EmailMessage,
+        sender: str,
+        recipient: str,
+        t: float,
+        sign: bool = True,
+        max_retries: int = 2,
+        retry_interval: float = 900.0,
+    ) -> Tuple[DeliveryRecord, float]:
+        """Deliver ``message`` to ``recipient``, trying MTAs in order.
+
+        Delivery stops at the first MTA that accepts the message (the
+        paper probed only the first responsive MTA per address).
+        Transient (4xx) failures — greylisting, most commonly — requeue
+        the message; up to ``max_retries`` further passes are made,
+        ``retry_interval`` virtual seconds apart, Exim-style.
+        """
+        record = DeliveryRecord(recipient=recipient, success=False, t_started=t)
+        if sign and self.signer is not None and message.get_header("DKIM-Signature") is None:
+            self.signer.sign(message, timestamp=int(t))
+        domain = recipient.rpartition("@")[2]
+        targets, t = self.resolve_targets(domain, t)
+        if not targets:
+            record.error = "no MTA addresses found for %s" % domain
+            self.log.append(record)
+            return record, t
+        for attempt in range(1 + max_retries):
+            transient_seen = False
+            for mx_host, address in targets:
+                record.attempts.append(address)
+                source = self.ipv6 if is_ipv6(address) else self.ipv4
+                if source is None:
+                    continue
+                try:
+                    reply, t = self._deliver_once(message, sender, recipient, source, address, t)
+                except SmtpClientError as exc:
+                    record.error = str(exc)
+                    if exc.reply is not None:
+                        record.reply = exc.reply
+                        if exc.reply.is_transient_failure:
+                            transient_seen = True
+                            continue
+                        if exc.reply.is_permanent_failure and exc.reply.code != 554:
+                            # A 5xx from this host applies to the message,
+                            # not the host; further attempts are abusive.
+                            self.log.append(record)
+                            return record, t
+                    continue
+                record.success = reply.code == 250
+                record.reply = reply
+                record.mta_ip = address
+                record.mx_host = mx_host
+                record.t_delivered = t
+                self.log.append(record)
+                return record, t
+            if not transient_seen or attempt == max_retries:
+                break
+            t += retry_interval  # back in the queue until the next run
+        self.log.append(record)
+        return record, t
+
+    def _deliver_once(
+        self,
+        message: EmailMessage,
+        sender: str,
+        recipient: str,
+        source: str,
+        address: str,
+        t: float,
+    ) -> Tuple[Reply, float]:
+        client, t = SmtpClient.connect(self.network, source, address, t)
+        try:
+            reply, t = client.ehlo_or_helo(self.hostname, t)
+            if not reply.is_success:
+                raise SmtpClientError("EHLO rejected: %s" % reply.text, reply)
+            reply, t = client.mail(sender, t)
+            if not reply.is_success:
+                raise SmtpClientError("MAIL rejected: %s" % reply.text, reply)
+            reply, t = client.rcpt(recipient, t)
+            if not reply.is_success:
+                raise SmtpClientError("RCPT rejected: %s" % reply.text, reply)
+            reply, t = client.data_command(t)
+            if not reply.is_intermediate:
+                raise SmtpClientError("DATA rejected: %s" % reply.text, reply)
+            reply, t = client.send_message(message, t)
+            client.quit(t)
+            return reply, t
+        except SmtpClientError:
+            client.abort(t)
+            raise

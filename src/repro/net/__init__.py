@@ -1,0 +1,31 @@
+"""Deterministic virtual network substrate.
+
+Everything in this package is single-threaded and driven by an explicit
+virtual :class:`~repro.net.clock.Clock`.  Protocol code above this layer
+threads timestamps through each exchange instead of sleeping, which makes
+runs exactly reproducible and lets the measurement harness reason about
+sub-second timing (the paper's Figure 2 and Section 7.1 analyses) without
+real wall-clock delays.
+"""
+
+from repro.net.clock import Clock
+from repro.net.errors import (
+    ConnectionRefused,
+    NetError,
+    PortInUse,
+    Unreachable,
+)
+from repro.net.latency import LatencyModel, UniformLatency
+from repro.net.network import Network, TcpChannel
+
+__all__ = [
+    "Clock",
+    "ConnectionRefused",
+    "LatencyModel",
+    "NetError",
+    "Network",
+    "PortInUse",
+    "TcpChannel",
+    "UniformLatency",
+    "Unreachable",
+]

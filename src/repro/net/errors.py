@@ -1,0 +1,22 @@
+"""Error types raised by the virtual network."""
+
+
+class NetError(Exception):
+    """Base class for all virtual-network errors."""
+
+
+class Unreachable(NetError):
+    """No host is registered at the destination address.
+
+    Raised both for addresses nobody owns and for address families the
+    destination host has disabled (e.g. contacting an IPv4-only resolver
+    over IPv6, which the ``ipv6_only`` test policy relies on).
+    """
+
+
+class ConnectionRefused(NetError):
+    """The destination host exists but nothing listens on the port."""
+
+
+class PortInUse(NetError):
+    """A second listener was registered for an already-bound endpoint."""

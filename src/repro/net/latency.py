@@ -1,0 +1,63 @@
+"""Latency models for the virtual network.
+
+The paper's timing analyses only need *consistent* per-path round-trip
+times: the serial-vs-parallel experiment (Section 7.1) compares arrival
+orders whose separation is dominated by deliberately inserted server-side
+delays (100 ms / 800 ms), so any plausible RTT model preserves the result.
+
+Paths are keyed by the (source IP, destination IP) string pair.  A seeded
+:class:`UniformLatency` assigns each path a one-way delay drawn once from a
+uniform range and then frozen, so repeated exchanges over the same path see
+identical timing, as real persistent paths roughly do at these scales.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+
+class LatencyModel:
+    """Base latency model: a constant one-way delay for every path."""
+
+    def __init__(self, one_way: float = 0.02) -> None:
+        if one_way < 0:
+            raise ValueError("one-way delay must be non-negative")
+        self._one_way = float(one_way)
+
+    def one_way_delay(self, src_ip: str, dst_ip: str) -> float:
+        """One-way delay in seconds from ``src_ip`` to ``dst_ip``."""
+        if src_ip == dst_ip:
+            return 0.0
+        return self._one_way
+
+    def rtt(self, src_ip: str, dst_ip: str) -> float:
+        """Round-trip time in seconds between the two addresses."""
+        return self.one_way_delay(src_ip, dst_ip) + self.one_way_delay(dst_ip, src_ip)
+
+
+class UniformLatency(LatencyModel):
+    """Per-path one-way delays drawn once from ``[low, high]``.
+
+    Deterministic for a given seed; symmetric (the same delay is used in
+    both directions of a path).
+    """
+
+    def __init__(self, low: float = 0.005, high: float = 0.05, seed: int = 0) -> None:
+        if low < 0 or high < low:
+            raise ValueError("require 0 <= low <= high, got low=%r high=%r" % (low, high))
+        super().__init__(one_way=low)
+        self._low = float(low)
+        self._high = float(high)
+        self._rng = random.Random(seed)
+        self._paths: Dict[Tuple[str, str], float] = {}
+
+    def one_way_delay(self, src_ip: str, dst_ip: str) -> float:
+        if src_ip == dst_ip:
+            return 0.0
+        key = (src_ip, dst_ip) if src_ip <= dst_ip else (dst_ip, src_ip)
+        delay = self._paths.get(key)
+        if delay is None:
+            delay = self._rng.uniform(self._low, self._high)
+            self._paths[key] = delay
+        return delay

@@ -1,0 +1,28 @@
+"""SMTP implementation (RFC 5321) over the virtual network.
+
+Provides the command/reply grammar, a server-side session state machine
+that receiving MTAs subclass, a client used by both the sending MTA and
+the measurement probe, and a minimal RFC 5322 message model (ordered,
+case-preserving headers — which DKIM canonicalization depends on).
+"""
+
+from repro.smtp.client import SmtpClient
+from repro.smtp.errors import SmtpClientError, SmtpError, SmtpProtocolError
+from repro.smtp.message import EmailMessage
+from repro.smtp.protocol import Command, Mailbox, Reply, parse_command, parse_path
+from repro.smtp.server import SmtpServer, SmtpSession
+
+__all__ = [
+    "Command",
+    "EmailMessage",
+    "Mailbox",
+    "Reply",
+    "SmtpClient",
+    "SmtpClientError",
+    "SmtpError",
+    "SmtpProtocolError",
+    "SmtpServer",
+    "SmtpSession",
+    "parse_command",
+    "parse_path",
+]

@@ -1,0 +1,107 @@
+"""SMTP client.
+
+Used by the sending MTA (full delivery) and by the measurement probe
+(which walks the envelope commands with long sleeps and then disconnects
+before transmitting a message — the paper's no-delivery guarantee).
+
+Every method takes and returns virtual timestamps, mirroring the rest of
+the stack.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.net.errors import NetError
+from repro.net.network import Network, SMTP_PORT, TcpChannel
+from repro.smtp.errors import SmtpClientError
+from repro.smtp.message import EmailMessage
+from repro.smtp.protocol import CRLF, Reply, dot_stuff
+
+
+class SmtpClient:
+    """A client-side SMTP conversation over one TCP connection."""
+
+    def __init__(self, channel: TcpChannel, greeting: Reply) -> None:
+        self.channel = channel
+        self.greeting = greeting
+        self.transcript: list = [("S", greeting, channel.t_established)]
+
+    # -- connection -------------------------------------------------------
+
+    @classmethod
+    def connect(
+        cls, network: Network, src_ip: str, dst_ip: str, t_connect: float, port: int = SMTP_PORT
+    ) -> Tuple["SmtpClient", float]:
+        """Open a connection; returns the client and the time the banner
+        finished arriving.  Raises :class:`SmtpClientError` when the server
+        refuses the connection or greets with a failure code."""
+        try:
+            channel = network.connect_tcp(src_ip, dst_ip, port, t_connect)
+        except NetError as exc:
+            raise SmtpClientError("connect failed: %s" % exc) from exc
+        if channel.greeting is None:
+            raise SmtpClientError("no SMTP banner")
+        greeting = Reply.from_bytes(channel.greeting)
+        client = cls(channel, greeting)
+        if not greeting.is_success:
+            raise SmtpClientError("unfriendly banner: %s" % greeting.text, greeting)
+        return client, channel.t_established
+
+    # -- command rounds -----------------------------------------------------
+
+    def command(self, line: str, t_send: float) -> Tuple[Reply, float]:
+        """Send one command line and parse the reply."""
+        data = (line + CRLF).encode("utf-8")
+        raw, t_reply = self.channel.request(data, t_send)
+        if raw is None:
+            raise SmtpClientError("server closed or stayed silent after %r" % line)
+        reply = Reply.from_bytes(raw)
+        self.transcript.append(("C", line, t_send))
+        self.transcript.append(("S", reply, t_reply))
+        return reply, t_reply
+
+    def ehlo(self, domain: str, t: float) -> Tuple[Reply, float]:
+        return self.command("EHLO %s" % domain, t)
+
+    def helo(self, domain: str, t: float) -> Tuple[Reply, float]:
+        return self.command("HELO %s" % domain, t)
+
+    def ehlo_or_helo(self, domain: str, t: float) -> Tuple[Reply, float]:
+        """EHLO, falling back to HELO on a 5xx, as the paper's probe does."""
+        reply, t = self.ehlo(domain, t)
+        if reply.is_permanent_failure:
+            reply, t = self.helo(domain, t)
+        return reply, t
+
+    def mail(self, sender: Optional[str], t: float) -> Tuple[Reply, float]:
+        path = "<%s>" % sender if sender else "<>"
+        return self.command("MAIL FROM:%s" % path, t)
+
+    def rcpt(self, recipient: str, t: float) -> Tuple[Reply, float]:
+        return self.command("RCPT TO:<%s>" % recipient, t)
+
+    def data_command(self, t: float) -> Tuple[Reply, float]:
+        return self.command("DATA", t)
+
+    def send_message(self, message: EmailMessage, t: float) -> Tuple[Reply, float]:
+        """Transmit message content and the terminating dot; expects the
+        server's final disposition reply."""
+        body = dot_stuff(message.to_text())
+        data = (body + CRLF + "." + CRLF).encode("utf-8")
+        raw, t_reply = self.channel.request(data, t)
+        if raw is None:
+            raise SmtpClientError("no reply to message data")
+        reply = Reply.from_bytes(raw)
+        self.transcript.append(("C", "<message: %d bytes>" % len(data), t))
+        self.transcript.append(("S", reply, t_reply))
+        return reply, t_reply
+
+    def quit(self, t: float) -> Tuple[Reply, float]:
+        reply, t_done = self.command("QUIT", t)
+        self.channel.close(t_done)
+        return reply, t_done
+
+    def abort(self, t: float) -> None:
+        """Disconnect without QUIT — the probe's no-delivery escape hatch."""
+        self.channel.close(t)

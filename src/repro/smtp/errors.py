@@ -1,0 +1,20 @@
+"""SMTP error types."""
+
+
+class SmtpError(Exception):
+    """Base class for SMTP errors."""
+
+
+class SmtpProtocolError(SmtpError):
+    """A peer violated the SMTP grammar."""
+
+
+class SmtpClientError(SmtpError):
+    """The client received an unexpected or error reply.
+
+    Carries the :class:`~repro.smtp.protocol.Reply` when one was parsed.
+    """
+
+    def __init__(self, message: str, reply=None) -> None:
+        super().__init__(message)
+        self.reply = reply

@@ -1,0 +1,101 @@
+"""Minimal RFC 5322 message model.
+
+Headers are an ordered list of ``(name, value)`` pairs with original casing
+and whitespace preserved — DKIM's canonicalization and signature coverage
+depend on byte-exact header reproduction, so nothing here normalises
+anything unless explicitly asked to.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+CRLF = "\r\n"
+
+
+class EmailMessage:
+    """An email message: ordered headers plus a body.
+
+    The body is stored as text with CRLF line endings (converted on input).
+    """
+
+    def __init__(
+        self,
+        headers: Optional[Iterable[Tuple[str, str]]] = None,
+        body: str = "",
+    ) -> None:
+        self.headers: List[Tuple[str, str]] = list(headers) if headers else []
+        self.body = _normalize_newlines(body)
+
+    # -- header access ----------------------------------------------------
+
+    def get_header(self, name: str) -> Optional[str]:
+        """The value of the first header named ``name`` (case-insensitive)."""
+        wanted = name.lower()
+        for header_name, value in self.headers:
+            if header_name.lower() == wanted:
+                return value
+        return None
+
+    def get_all(self, name: str) -> List[str]:
+        wanted = name.lower()
+        return [value for header_name, value in self.headers if header_name.lower() == wanted]
+
+    def add_header(self, name: str, value: str) -> None:
+        self.headers.append((name, value))
+
+    def prepend_header(self, name: str, value: str) -> None:
+        """Insert at the top — where trace and DKIM-Signature headers go."""
+        self.headers.insert(0, (name, value))
+
+    def remove_headers(self, name: str) -> None:
+        wanted = name.lower()
+        self.headers = [(n, v) for n, v in self.headers if n.lower() != wanted]
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_text(self) -> str:
+        head = CRLF.join("%s: %s" % (name, value) for name, value in self.headers)
+        return head + CRLF + CRLF + self.body
+
+    def to_bytes(self) -> bytes:
+        return self.to_text().encode("utf-8")
+
+    @classmethod
+    def from_text(cls, text: str) -> "EmailMessage":
+        text = _normalize_newlines(text)
+        if text.startswith(CRLF):
+            # No headers at all: the message begins with the blank separator.
+            return cls(body=text[len(CRLF) :])
+        head, separator, body = text.partition(CRLF + CRLF)
+        message = cls(body=body if separator else "")
+        current_name: Optional[str] = None
+        current_value: List[str] = []
+        for line in head.split(CRLF):
+            if not line:
+                continue
+            if line[0] in " \t" and current_name is not None:
+                # Folded continuation line: preserve it verbatim.
+                current_value.append(CRLF + line)
+                continue
+            if current_name is not None:
+                message.headers.append((current_name, "".join(current_value)))
+            name, _, value = line.partition(":")
+            current_name = name
+            current_value = [value.lstrip(" ")]
+        if current_name is not None:
+            message.headers.append((current_name, "".join(current_value)))
+        return message
+
+    def __repr__(self) -> str:
+        subject = self.get_header("Subject")
+        return "EmailMessage(%d headers, %d body bytes%s)" % (
+            len(self.headers),
+            len(self.body),
+            ", subject=%r" % subject if subject else "",
+        )
+
+
+def _normalize_newlines(text: str) -> str:
+    """Convert bare LF / CR to CRLF without doubling existing CRLFs."""
+    return text.replace(CRLF, "\n").replace("\r", "\n").replace("\n", CRLF)

@@ -1,0 +1,46 @@
+"""Sender Policy Framework (RFC 7208).
+
+A complete SPF implementation: record parsing, macro expansion, and a
+``check_host`` evaluator that performs its DNS lookups through a
+:class:`repro.dns.Resolver` with explicit virtual timestamps.
+
+The evaluator is configurable along every axis the paper measures in the
+wild (Section 7): lookup-limit enforcement, void-lookup limits, syntax
+strictness, multiple-record handling, serial versus parallel lookups, the
+illegal A/AAAA fallback after a failed ``mx`` lookup, and the per-``mx``
+address-lookup ceiling.  ``SpfConfig()`` with no arguments is RFC-strict.
+"""
+
+from repro.spf.errors import SpfError, SpfPermError, SpfSyntaxError, SpfTempError
+from repro.spf.evaluator import SpfConfig, SpfEvaluator
+from repro.spf.macros import MacroContext, expand_macros
+from repro.spf.parser import parse_record
+from repro.spf.result import SpfCheckOutcome, SpfResult
+from repro.spf.terms import (
+    Directive,
+    Mechanism,
+    MechanismKind,
+    Modifier,
+    Qualifier,
+    SpfRecord,
+)
+
+__all__ = [
+    "Directive",
+    "MacroContext",
+    "Mechanism",
+    "MechanismKind",
+    "Modifier",
+    "Qualifier",
+    "SpfCheckOutcome",
+    "SpfConfig",
+    "SpfError",
+    "SpfEvaluator",
+    "SpfPermError",
+    "SpfRecord",
+    "SpfResult",
+    "SpfSyntaxError",
+    "SpfTempError",
+    "expand_macros",
+    "parse_record",
+]

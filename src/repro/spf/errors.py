@@ -1,0 +1,22 @@
+"""SPF error types.
+
+These are internal control-flow exceptions of the evaluator; the public
+API reports failures through :class:`repro.spf.result.SpfResult` values
+(``permerror`` / ``temperror``) rather than raising.
+"""
+
+
+class SpfError(Exception):
+    """Base class for SPF errors."""
+
+
+class SpfSyntaxError(SpfError):
+    """The record text violates the RFC 7208 grammar."""
+
+
+class SpfPermError(SpfError):
+    """A condition RFC 7208 defines as ``permerror``."""
+
+
+class SpfTempError(SpfError):
+    """A condition RFC 7208 defines as ``temperror`` (DNS trouble)."""

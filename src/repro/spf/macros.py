@@ -1,0 +1,134 @@
+"""SPF macro expansion (RFC 7208 section 7).
+
+Supports the full macro letter set with digit transformers, the ``r``
+reverse transformer, and custom delimiter sets, plus the ``%%``/``%_``/
+``%-`` literals.  The ``p`` (validated reverse-DNS) macro is expanded to
+``unknown`` unless the caller provides a value, matching the RFC's advice
+that it "SHOULD NOT be used" and sparing the evaluator a gratuitous chain
+of lookups.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.spf.errors import SpfSyntaxError
+
+_MACRO_RE = re.compile(r"%(?:%|_|-|\{([A-Za-z])(\d*)(r?)([.\-+,/_=]*)\})")
+
+
+@dataclass
+class MacroContext:
+    """The inputs macro letters draw from during one ``check_host``."""
+
+    sender: str  # full sender address (MAIL FROM, or postmaster@helo)
+    domain: str  # current <domain> argument
+    client_ip: str  # connecting address
+    helo: str  # HELO/EHLO identity
+    receiving_host: str = "receiver.invalid"  # %{r}
+    validated_ptr: Optional[str] = None  # %{p}, if the caller resolved it
+
+    @property
+    def local_part(self) -> str:
+        local = self.sender.rpartition("@")[0]
+        return local or "postmaster"
+
+    @property
+    def sender_domain(self) -> str:
+        return self.sender.rpartition("@")[2]
+
+
+def expand_macros(spec: str, context: MacroContext, is_exp: bool = False) -> str:
+    """Expand every macro in ``spec``.
+
+    Raises :class:`SpfSyntaxError` on an unknown macro letter or a stray
+    ``%`` that is not part of a valid macro expression.
+    """
+    output = []
+    position = 0
+    for match in _MACRO_RE.finditer(spec):
+        if match.start() > position:
+            output.append(spec[position : match.start()])
+        position = match.end()
+        token = match.group(0)
+        if token == "%%":
+            output.append("%")
+            continue
+        if token == "%_":
+            output.append(" ")
+            continue
+        if token == "%-":
+            output.append("%20")
+            continue
+        letter, digits, reverse, delimiters = match.groups()
+        output.append(
+            _expand_one(letter, digits, bool(reverse), delimiters or ".", context, is_exp)
+        )
+    # Any remaining '%' outside a matched macro is a syntax error.
+    tail = spec[position:]
+    if "%" in tail:
+        raise SpfSyntaxError("stray %% in domain-spec %r" % spec)
+    output.append(tail)
+    return "".join(output)
+
+
+def _expand_one(
+    letter: str, digits: str, reverse: bool, delimiters: str, context: MacroContext, is_exp: bool
+) -> str:
+    lowered = letter.lower()
+    if lowered == "s":
+        value = context.sender
+    elif lowered == "l":
+        value = context.local_part
+    elif lowered == "o":
+        value = context.sender_domain
+    elif lowered == "d":
+        value = context.domain
+    elif lowered == "i":
+        value = _ip_macro(context.client_ip)
+    elif lowered == "p":
+        value = context.validated_ptr or "unknown"
+    elif lowered == "v":
+        value = "in-addr" if ":" not in context.client_ip else "ip6"
+    elif lowered == "h":
+        value = context.helo
+    elif lowered in ("c", "r", "t"):
+        if not is_exp:
+            raise SpfSyntaxError("macro %%{%s} only valid in exp text" % letter)
+        if lowered == "c":
+            value = context.client_ip
+        elif lowered == "r":
+            value = context.receiving_host
+        else:
+            value = "0"
+    else:
+        raise SpfSyntaxError("unknown macro letter %r" % letter)
+
+    parts = re.split("[%s]" % re.escape(delimiters), value)
+    if reverse:
+        parts.reverse()
+    if digits:
+        count = int(digits)
+        if count == 0:
+            raise SpfSyntaxError("macro transformer digit 0")
+        parts = parts[-count:]
+    expanded = ".".join(parts)
+    if letter.isupper():
+        expanded = _url_escape(expanded)
+    return expanded
+
+
+def _ip_macro(address: str) -> str:
+    """The %%{i} dotted form: IPv4 as-is, IPv6 as dotted nibbles."""
+    if ":" not in address:
+        return address
+    nibbles = ipaddress.IPv6Address(address).exploded.replace(":", "")
+    return ".".join(nibbles)
+
+
+def _url_escape(text: str) -> str:
+    safe = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_.~")
+    return "".join(char if char in safe else "%%%02X" % ord(char) for char in text)

@@ -1,0 +1,194 @@
+"""SPF record parser (RFC 7208 section 12 grammar, pragmatically).
+
+``parse_record`` turns record text into an :class:`~repro.spf.terms.SpfRecord`.
+In strict mode any unintelligible term raises
+:class:`~repro.spf.errors.SpfSyntaxError` (the RFC's ``permerror``); in
+tolerant mode — used to model the 5.5% / 12.3% of wild validators that keep
+going past syntax errors (paper Section 7.3) — bad terms are preserved as
+:class:`~repro.spf.terms.InvalidTerm` entries and evaluation continues
+around them.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import re
+from typing import Optional, Tuple
+
+from repro.spf.errors import SpfSyntaxError
+from repro.spf.terms import (
+    Directive,
+    InvalidTerm,
+    Mechanism,
+    MechanismKind,
+    Modifier,
+    Qualifier,
+    SpfRecord,
+    looks_like_spf,
+)
+
+_QUALIFIERS = {q.value: q for q in Qualifier}
+_MECHANISMS = {m.value: m for m in MechanismKind}
+
+# name = ALPHA *( ALPHA / DIGIT / "-" / "_" / "." )
+_MODIFIER_RE = re.compile(r"^([A-Za-z][A-Za-z0-9._-]*)=(.*)$")
+
+# Characters permitted in a domain-spec (macro syntax included).
+_DOMAIN_SPEC_RE = re.compile(r"^[A-Za-z0-9.%{}+=_/,!*~?^|\x2d-]+$")
+
+
+def parse_record(text: str, tolerant: bool = False) -> SpfRecord:
+    """Parse SPF record ``text``.
+
+    Raises :class:`SpfSyntaxError` when the version section is wrong, and
+    (in strict mode) when any term is malformed.
+    """
+    if not looks_like_spf(text):
+        raise SpfSyntaxError("not an SPF record: %r" % text[:40])
+    record = SpfRecord(terms=[], raw=text)
+    body = text[len("v=spf1") :].strip()
+    if not body:
+        return record
+    for token in body.split():
+        try:
+            record.terms.append(_parse_term(token))
+        except SpfSyntaxError as exc:
+            if not tolerant:
+                raise
+            record.terms.append(InvalidTerm(token, str(exc)))
+    return record
+
+
+def _parse_term(token: str):
+    qualifier = Qualifier.PASS
+    explicit_qualifier = False
+    rest = token
+    if rest and rest[0] in _QUALIFIERS:
+        qualifier = _QUALIFIERS[rest[0]]
+        explicit_qualifier = True
+        rest = rest[1:]
+    if not rest:
+        raise SpfSyntaxError("bare qualifier %r" % token)
+
+    name, separator, argument = _split_term(rest)
+    lowered = name.lower()
+
+    if separator == "=":
+        if explicit_qualifier:
+            raise SpfSyntaxError("modifier with qualifier: %r" % token)
+        if not _MODIFIER_RE.match(rest):
+            raise SpfSyntaxError("malformed modifier: %r" % token)
+        return Modifier(name, argument)
+
+    if lowered not in _MECHANISMS:
+        raise SpfSyntaxError("unknown mechanism %r" % name)
+    kind = _MECHANISMS[lowered]
+    return Directive(qualifier, _parse_mechanism(kind, separator, argument, token))
+
+
+def _split_term(text: str) -> Tuple[str, str, str]:
+    """Split ``text`` at the first ``:``, ``=``, or ``/``.
+
+    ``/`` begins a CIDR suffix on a bare ``a``/``mx`` mechanism, so it is a
+    separator too; the argument then keeps the slash for CIDR parsing.
+    """
+    for index, char in enumerate(text):
+        if char == ":":
+            return text[:index], ":", text[index + 1 :]
+        if char == "=":
+            return text[:index], "=", text[index + 1 :]
+        if char == "/":
+            return text[:index], "/", text[index:]
+    return text, "", ""
+
+
+def _parse_mechanism(kind: MechanismKind, separator: str, argument: str, token: str) -> Mechanism:
+    if kind is MechanismKind.ALL:
+        if separator:
+            raise SpfSyntaxError("'all' takes no argument: %r" % token)
+        return Mechanism(kind)
+
+    if kind in (MechanismKind.IP4, MechanismKind.IP6):
+        if separator != ":" or not argument:
+            raise SpfSyntaxError("%s requires an address: %r" % (kind.value, token))
+        return _parse_ip_mechanism(kind, argument, token)
+
+    if kind in (MechanismKind.INCLUDE, MechanismKind.EXISTS):
+        if separator != ":" or not argument:
+            raise SpfSyntaxError("%s requires a domain: %r" % (kind.value, token))
+        _check_domain_spec(argument, token)
+        return Mechanism(kind, domain_spec=argument)
+
+    if kind is MechanismKind.PTR:
+        if separator == ":":
+            _check_domain_spec(argument, token)
+            return Mechanism(kind, domain_spec=argument)
+        if separator:
+            raise SpfSyntaxError("malformed ptr: %r" % token)
+        return Mechanism(kind)
+
+    # a / mx: optional domain, optional dual-cidr-length.
+    domain: Optional[str] = None
+    cidr_text = ""
+    if separator == ":":
+        if "/" in argument:
+            domain, _, cidr_text = argument.partition("/")
+            cidr_text = "/" + cidr_text
+        else:
+            domain = argument
+        if not domain:
+            raise SpfSyntaxError("empty domain in %r" % token)
+        _check_domain_spec(domain, token)
+    elif separator == "/":
+        cidr_text = argument
+    cidr4, cidr6 = _parse_dual_cidr(cidr_text, token)
+    return Mechanism(kind, domain_spec=domain, cidr4=cidr4, cidr6=cidr6)
+
+
+def _parse_ip_mechanism(kind: MechanismKind, argument: str, token: str) -> Mechanism:
+    address, _, prefix = argument.partition("/")
+    try:
+        if kind is MechanismKind.IP4:
+            parsed = ipaddress.IPv4Network(argument if prefix else address + "/32", strict=False)
+            if prefix and not 0 <= int(prefix) <= 32:
+                raise ValueError(prefix)
+        else:
+            parsed = ipaddress.IPv6Network(argument if prefix else address + "/128", strict=False)
+            if prefix and not 0 <= int(prefix) <= 128:
+                raise ValueError(prefix)
+    except ValueError as exc:
+        raise SpfSyntaxError("bad %s network %r" % (kind.value, token)) from exc
+    return Mechanism(kind, network=str(parsed))
+
+
+def _parse_dual_cidr(cidr_text: str, token: str) -> Tuple[Optional[int], Optional[int]]:
+    """Parse ``/<n>``, ``//<m>`` or ``/<n>//<m>``."""
+    if not cidr_text:
+        return None, None
+    cidr4: Optional[int] = None
+    cidr6: Optional[int] = None
+    text = cidr_text
+    if text.startswith("/") and not text.startswith("//"):
+        match = re.match(r"^/(\d+)", text)
+        if not match:
+            raise SpfSyntaxError("bad CIDR in %r" % token)
+        cidr4 = int(match.group(1))
+        if cidr4 > 32:
+            raise SpfSyntaxError("IPv4 CIDR > 32 in %r" % token)
+        text = text[match.end() :]
+    if text.startswith("//"):
+        match = re.match(r"^//(\d+)$", text)
+        if not match:
+            raise SpfSyntaxError("bad IPv6 CIDR in %r" % token)
+        cidr6 = int(match.group(1))
+        if cidr6 > 128:
+            raise SpfSyntaxError("IPv6 CIDR > 128 in %r" % token)
+        text = ""
+    if text:
+        raise SpfSyntaxError("trailing CIDR garbage in %r" % token)
+    return cidr4, cidr6
+
+
+def _check_domain_spec(spec: str, token: str) -> None:
+    if not _DOMAIN_SPEC_RE.match(spec):
+        raise SpfSyntaxError("invalid domain-spec in %r" % token)

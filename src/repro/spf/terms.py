@@ -1,0 +1,145 @@
+"""Parsed representation of SPF records (RFC 7208 section 5 / 6).
+
+A record is a version token followed by *terms*; each term is either a
+*directive* (an optional qualifier plus a mechanism) or a *modifier*
+(``name=value``).  The parser in :mod:`repro.spf.parser` produces these
+structures; the evaluator walks them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+
+class Qualifier(enum.Enum):
+    """The four mechanism qualifiers; ``+`` is the implicit default."""
+
+    PASS = "+"
+    FAIL = "-"
+    SOFTFAIL = "~"
+    NEUTRAL = "?"
+
+
+class MechanismKind(enum.Enum):
+    """The eight mechanism names RFC 7208 defines."""
+
+    ALL = "all"
+    INCLUDE = "include"
+    A = "a"
+    MX = "mx"
+    PTR = "ptr"
+    IP4 = "ip4"
+    IP6 = "ip6"
+    EXISTS = "exists"
+
+    @property
+    def consumes_dns_lookup(self) -> bool:
+        """True for the "terms that cause DNS queries" of section 4.6.4."""
+        return self in (
+            MechanismKind.INCLUDE,
+            MechanismKind.A,
+            MechanismKind.MX,
+            MechanismKind.PTR,
+            MechanismKind.EXISTS,
+        )
+
+
+@dataclass(frozen=True)
+class Mechanism:
+    """One mechanism with its optional domain-spec and CIDR lengths.
+
+    ``domain_spec`` may contain macros; expansion happens at evaluation
+    time because it depends on the sender/ip context.  For ``ip4``/``ip6``
+    the literal network lives in ``network`` instead.
+    """
+
+    kind: MechanismKind
+    domain_spec: Optional[str] = None
+    cidr4: Optional[int] = None
+    cidr6: Optional[int] = None
+    network: Optional[str] = None
+
+    def to_text(self) -> str:
+        text = self.kind.value
+        if self.network is not None:
+            text += ":" + self.network
+        elif self.domain_spec is not None:
+            text += ":" + self.domain_spec
+        if self.cidr4 is not None:
+            text += "/%d" % self.cidr4
+        if self.cidr6 is not None:
+            text += "//%d" % self.cidr6
+        return text
+
+
+@dataclass(frozen=True)
+class Directive:
+    """Qualifier + mechanism."""
+
+    qualifier: Qualifier
+    mechanism: Mechanism
+
+    def to_text(self) -> str:
+        prefix = self.qualifier.value if self.qualifier is not Qualifier.PASS else ""
+        return prefix + self.mechanism.to_text()
+
+
+@dataclass(frozen=True)
+class Modifier:
+    """``name=value`` term: ``redirect``, ``exp`` or an unknown modifier."""
+
+    name: str
+    value: str
+
+    def to_text(self) -> str:
+        return "%s=%s" % (self.name, self.value)
+
+
+@dataclass(frozen=True)
+class InvalidTerm:
+    """A term the parser could not understand, preserved for the
+    tolerant-evaluation modes that skip rather than reject bad terms."""
+
+    text: str
+    reason: str
+
+    def to_text(self) -> str:
+        return self.text
+
+
+Term = Union[Directive, Modifier, InvalidTerm]
+
+
+@dataclass
+class SpfRecord:
+    """A parsed SPF record."""
+
+    terms: List[Term]
+    raw: str
+
+    @property
+    def directives(self) -> List[Directive]:
+        return [term for term in self.terms if isinstance(term, Directive)]
+
+    @property
+    def invalid_terms(self) -> List[InvalidTerm]:
+        return [term for term in self.terms if isinstance(term, InvalidTerm)]
+
+    def modifier(self, name: str) -> Optional[str]:
+        """Value of the first modifier called ``name``, if present."""
+        wanted = name.lower()
+        for term in self.terms:
+            if isinstance(term, Modifier) and term.name.lower() == wanted:
+                return term.value
+        return None
+
+    def to_text(self) -> str:
+        return "v=spf1 " + " ".join(term.to_text() for term in self.terms)
+
+
+def looks_like_spf(text: str) -> bool:
+    """The RFC 7208 section 4.5 record-selection test: the version section
+    must be exactly ``v=spf1`` followed by a space or end of record."""
+    return text == "v=spf1" or text.startswith("v=spf1 ")

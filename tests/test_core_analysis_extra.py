@@ -1,0 +1,95 @@
+"""Extra coverage for analysis helpers and receiver dispositions."""
+
+import pytest
+
+from repro.core import analysis as A
+from repro.core.analysis import FIGURE2_EDGES, FIGURE2_LABELS, Stat
+from repro.core.report import Table, pct, render_cdf, render_histogram
+
+
+class TestStat:
+    def test_percent_and_row(self):
+        stat = Stat("thing", 3, 12, paper_percent=30.0)
+        assert stat.percent == pytest.approx(25.0)
+        assert stat.row() == ["thing", "3/12", "25.0%", "30.0%"]
+
+    def test_zero_denominator(self):
+        assert Stat("x", 0, 0, 1.0).percent == 0.0
+
+
+class TestDatasetTable:
+    def test_render(self):
+        table = A.dataset_table(
+            [A.DatasetCounts("NotifyEmail", 100, 70, 8), A.DatasetCounts("TwoWeekMX", 90, 40, 2)]
+        )
+        text = table.render()
+        assert "NotifyEmail" in text and "70" in text
+
+
+class TestFigure2Buckets:
+    def test_edges_and_labels_consistent(self):
+        assert len(FIGURE2_LABELS) == len(FIGURE2_EDGES) + 1
+
+    def test_bucketing_boundaries(self):
+        """Values exactly on an edge fall into the lower bucket."""
+        def bucket_of(value):
+            index = 0
+            while index < len(FIGURE2_EDGES) and value > FIGURE2_EDGES[index]:
+                index += 1
+            return FIGURE2_LABELS[index]
+
+        assert bucket_of(-30.0) == "<= -30"
+        assert bucket_of(-29.9) == "-30..-15"
+        assert bucket_of(0.0) == "-15..0"
+        assert bucket_of(0.1) == "0..15"
+        assert bucket_of(31.0) == ">= 30"
+
+
+class TestRenderHelpers:
+    def test_render_cdf(self):
+        text = render_cdf([(1.0, 0.25), (10.0, 1.0)], title="demo")
+        assert "demo" in text
+        assert "100.0%" in text
+
+    def test_render_histogram(self):
+        text = render_histogram([("a", 0.5), ("b", 0.5)])
+        assert text.count("#") > 10
+
+    def test_pct_rounding(self):
+        assert pct(2, 3, 2) == "66.67%"
+
+
+class TestQuarantineDisposition:
+    def test_quarantined_delivery_flagged(self):
+        from repro.dns.rdata import TxtRecord
+        from repro.mta.behavior import MtaBehavior
+        from repro.mta.receiver import ReceivingMta
+        from repro.smtp.client import SmtpClient
+        from repro.smtp.message import EmailMessage
+        from tests.helpers import World
+
+        world = World(seed=171)
+        zone = world.zone("q.example")
+        zone.add("q.example", TxtRecord("v=spf1 ip4:203.0.113.1 -all"))
+        zone.add("_dmarc.q.example", TxtRecord("v=DMARC1; p=quarantine"))
+        spoofer = "203.0.113.66"
+        world.network.add_address(spoofer)
+        mta = ReceivingMta(
+            "mx.r.example", world.network, world.directory,
+            MtaBehavior(accepts_any_recipient=True, validates_dkim=False),
+            ipv4="198.51.100.77",
+        )
+        mta.attach()
+        client, t = SmtpClient.connect(world.network, spoofer, "198.51.100.77", 0.0)
+        _, t = client.ehlo("evil.example", t)
+        _, t = client.mail("ceo@q.example", t)
+        _, t = client.rcpt("victim@r.example", t)
+        _, t = client.data_command(t)
+        message = EmailMessage([("From", "ceo@q.example"), ("To", "victim@r.example")], "pay me\r\n")
+        reply, t = client.send_message(message, t)
+        assert reply.code == 250  # quarantine accepts but flags
+        assert mta.deliveries[0].quarantined
+        # The stamped Authentication-Results record the failure.
+        value = mta.deliveries[0].message.get_header("Authentication-Results")
+        assert "spf=fail" in value
+        assert "dmarc=fail" in value

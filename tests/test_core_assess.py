@@ -1,0 +1,144 @@
+"""Tests for the sender-deployment assessor."""
+
+import pytest
+
+from repro.core.assess import (
+    Severity,
+    assess_domain,
+    lint_spf_record,
+)
+from repro.dkim import KeyRecord, generate_keypair
+from repro.dmarc.record import DmarcPolicy
+from repro.dns.rdata import ARecord, MxRecord, TxtRecord
+from tests.helpers import World
+
+KEYPAIR = generate_keypair(1024, seed=95)
+
+
+class TestSpfLint:
+    def test_clean_record(self):
+        findings, lookups, terminal = lint_spf_record("v=spf1 ip4:192.0.2.0/24 -all")
+        assert findings == []
+        assert lookups == 0
+        assert terminal == "-"
+
+    def test_counts_lookup_terms(self):
+        findings, lookups, _ = lint_spf_record("v=spf1 a mx include:x.example exists:y.example ptr -all")
+        assert lookups == 5
+        assert any("ptr" in f.message for f in findings)
+
+    def test_over_limit_is_error(self):
+        record = "v=spf1 " + " ".join("include:i%d.example" % i for i in range(11)) + " -all"
+        findings, lookups, _ = lint_spf_record(record)
+        assert lookups == 11
+        assert any(f.severity is Severity.ERROR and "caps" in f.message for f in findings)
+
+    def test_near_limit_warns(self):
+        record = "v=spf1 " + " ".join("include:i%d.example" % i for i in range(8)) + " -all"
+        findings, _, _ = lint_spf_record(record)
+        assert any(f.severity is Severity.WARNING for f in findings)
+
+    def test_plus_all_is_error(self):
+        findings, _, terminal = lint_spf_record("v=spf1 +all")
+        assert terminal == "+"
+        assert any("entire Internet" in f.message for f in findings)
+
+    def test_terms_after_all_warn(self):
+        findings, _, _ = lint_spf_record("v=spf1 -all ip4:192.0.2.1")
+        assert any("never evaluated" in f.message for f in findings)
+
+    def test_missing_terminal_warns(self):
+        findings, _, terminal = lint_spf_record("v=spf1 ip4:192.0.2.1")
+        assert terminal is None
+        assert any("default to neutral" in f.message for f in findings)
+
+    def test_redirect_counts_and_conflicts(self):
+        findings, lookups, _ = lint_spf_record("v=spf1 -all redirect=x.example")
+        assert lookups == 1
+        assert any("redirect= is ignored" in f.message for f in findings)
+
+    def test_syntax_error_reported(self):
+        findings, _, _ = lint_spf_record("v=spf1 ipv4:192.0.2.1 -all")
+        assert any(f.severity is Severity.ERROR and "syntax" in f.message for f in findings)
+
+
+@pytest.fixture
+def world():
+    world = World(seed=97)
+    zone = world.zone("good.example")
+    zone.add("good.example", TxtRecord("v=spf1 mx -all"))
+    zone.add("good.example", MxRecord(10, "mx.good.example"))
+    zone.add("mx.good.example", ARecord("198.51.100.5"))
+    zone.add(
+        "mail._domainkey.good.example",
+        TxtRecord(KeyRecord(public_key_b64=KEYPAIR.public.to_base64()).to_text()),
+    )
+    zone.add("_dmarc.good.example", TxtRecord("v=DMARC1; p=reject; rua=mailto:agg@good.example"))
+
+    bad = world.zone("bad.example")
+    bad.add("bad.example", TxtRecord("v=spf1 include:void.bad.example include:other.bad.example +all"))
+    bad.add("other.bad.example", TxtRecord("just text, no policy"))
+    bad.add("_dmarc.bad.example", TxtRecord("v=DMARC1; p=none; pct=50"))
+
+    world.zone("empty.example")
+    return world
+
+
+class TestAssessDomain:
+    def test_clean_deployment_grades_a(self, world):
+        assessment, _ = assess_domain(world.resolver(), "good.example")
+        assert assessment.grade == "A"
+        assert assessment.spf.record == "v=spf1 mx -all"
+        assert assessment.dkim.usable_keys == 1
+        assert assessment.dmarc.policy is DmarcPolicy.REJECT
+        assert not assessment.errors
+
+    def test_broken_deployment_flags_everything(self, world):
+        assessment, _ = assess_domain(world.resolver(), "bad.example")
+        messages = [finding.message for finding in assessment.findings]
+        assert any("entire Internet" in m for m in messages)  # +all
+        assert any("void lookup" in m for m in messages)  # include target NXDOMAIN
+        assert any("no SPF record" in m for m in messages)  # include without policy
+        assert any("p=none" in m for m in messages)
+        assert any("pct=50" in m for m in messages)
+        assert any("no usable DKIM key" in m for m in messages)
+        assert assessment.grade in ("C", "D")
+
+    def test_nothing_deployed_grades_f(self, world):
+        assessment, _ = assess_domain(world.resolver(), "empty.example")
+        assert assessment.grade == "F"
+        assert len(assessment.errors) >= 3
+
+    def test_report_renders(self, world):
+        assessment, _ = assess_domain(world.resolver(), "good.example")
+        text = assessment.to_text()
+        assert "grade A" in text
+        assert "v=spf1 mx -all" in text
+
+    def test_custom_selectors(self, world):
+        assessment, _ = assess_domain(world.resolver(), "good.example", selectors=("nope",))
+        assert assessment.dkim.usable_keys == 0
+        assert assessment.grade == "C"  # SPF + DMARC only
+
+    def test_weak_key_flagged(self, world):
+        weak = generate_keypair(512, seed=5)
+        zone = world.zone("weak.example")
+        zone.add("weak.example", TxtRecord("v=spf1 -all"))
+        zone.add(
+            "mail._domainkey.weak.example",
+            TxtRecord(KeyRecord(public_key_b64=weak.public.to_base64()).to_text()),
+        )
+        zone.add("_dmarc.weak.example", TxtRecord("v=DMARC1; p=reject"))
+        assessment, _ = assess_domain(world.resolver(), "weak.example")
+        assert any("512 bits" in f.message for f in assessment.dkim.findings)
+
+    def test_multiple_spf_records_error(self, world):
+        zone = world.zone("dup.example")
+        zone.add("dup.example", TxtRecord("v=spf1 -all"))
+        zone.add("dup.example", TxtRecord("v=spf1 ~all"))
+        assessment, _ = assess_domain(world.resolver(), "dup.example")
+        assert any("2 SPF records" in f.message for f in assessment.spf.findings)
+
+    def test_unreachable_dns(self, world):
+        assessment, _ = assess_domain(world.resolver(), "unregistered.nowhere")
+        assert any("lookup failed" in f.message for f in assessment.spf.findings)

@@ -1,0 +1,222 @@
+"""Integration tests: full campaigns on a small universe, plus the table
+and figure analyses over their output."""
+
+import pytest
+
+from repro.core import analysis as A
+from repro.core.campaign import (
+    NotifyEmailCampaign,
+    ProbeCampaign,
+    Testbed,
+    apply_reputation_effects,
+)
+from repro.core.datasets import DatasetSpec, generate_universe
+from repro.core.report import Table, pct
+
+
+@pytest.fixture(scope="module")
+def notify_world():
+    universe = generate_universe(DatasetSpec.notify_email(scale=0.006), seed=101)
+    testbed = Testbed(universe, seed=102)
+    result = NotifyEmailCampaign(testbed).run()
+    return universe, testbed, result
+
+
+@pytest.fixture(scope="module")
+def probe_world():
+    universe = generate_universe(DatasetSpec.two_week_mx(scale=0.008), seed=103)
+    testbed = Testbed(universe, seed=104)
+    result = ProbeCampaign(testbed, "TwoWeekMX").run()
+    return universe, testbed, result
+
+
+class TestNotifyCampaign:
+    def test_nearly_all_deliveries_accepted(self, notify_world):
+        _, _, result = notify_world
+        accepted = len(result.accepted)
+        assert accepted >= 0.9 * len(result.deliveries)
+
+    def test_every_delivery_has_unique_from_domain(self, notify_world):
+        _, _, result = notify_world
+        from_domains = [d.from_domain for d in result.deliveries]
+        assert len(set(from_domains)) == len(from_domains)
+
+    def test_validating_domains_visible_in_log(self, notify_world):
+        universe, _, result = notify_world
+        analysis = A.analyze_notify(result)
+        spf_rate = len(analysis.validating("spf")) / analysis.total
+        assert 0.7 < spf_rate < 0.95  # paper: 85%
+
+    def test_table4_shape(self, notify_world):
+        _, _, result = notify_world
+        analysis = A.analyze_notify(result)
+        counts = analysis.combo_counts()
+        # Full validation is the most common combo; FTT (DKIM+DMARC only)
+        # is absent, as in the paper.
+        assert counts[(True, True, True)] == max(counts.values())
+        assert counts[(False, True, True)] == 0
+
+    def test_dkim_signature_validates_for_validating_domains(self, notify_world):
+        universe, testbed, result = notify_world
+        analysis = A.analyze_notify(result)
+        dkim_domains = analysis.validating("dkim")
+        assert dkim_domains
+        # A DKIM query in the log means the receiving MTA actually ran the
+        # verifier; cross-check one against the receiver's own record.
+        domainid = sorted(dkim_domains)[0]
+        delivery = next(d for d in result.deliveries if d.domain.domainid == domainid)
+        mta_ip = delivery.delivery.mta_ip
+        receiver = next(
+            r for r in testbed.receivers.values() if mta_ip in (r.ipv4, r.ipv6)
+        )
+        dkim_records = [v for v in receiver.validations if v.kind == "dkim"]
+        assert any(v.result == "pass" for v in dkim_records)
+
+    def test_timing_analysis_shape(self, notify_world):
+        _, _, result = notify_world
+        timing = A.timing_analysis(result)
+        assert timing.domains_used > 0
+        assert abs(sum(fraction for _, fraction in timing.buckets) - 1.0) < 1e-9
+        assert 0.6 < timing.negative_fraction <= 1.0
+
+    def test_table5_row(self, notify_world):
+        universe, _, result = notify_world
+        analysis = A.analyze_notify(result)
+        row = A.notify_email_spf_row(universe, result, analysis)
+        assert row.validating_domains <= row.total_domains
+        assert row.validating_mtas <= row.total_mtas
+
+    def test_table6_lists_popular_providers(self, notify_world):
+        _, _, result = notify_world
+        analysis = A.analyze_notify(result)
+        table = A.provider_table(analysis)
+        names = [row[0] for row in table.rows]
+        assert "gmail.com" in names and "qq.com" in names
+        gmail = next(row for row in table.rows if row[0] == "gmail.com")
+        assert gmail[1:] == ["Y", "Y", "Y"]
+        qq = next(row for row in table.rows if row[0] == "qq.com")
+        assert qq[1:] == ["-", "-", "-"]
+
+    def test_table7_alexa_gradient(self, notify_world):
+        universe, _, result = notify_world
+        analysis = A.analyze_notify(result)
+        table = A.alexa_table(universe, analysis)
+        assert table.rows[0][0] == "Domains"
+
+    def test_table1_and_3_render(self, notify_world):
+        universe, _, _ = notify_world
+        t1 = A.tld_table({"NotifyEmail": universe})
+        assert "com" in t1.render()
+        t3 = A.as_table({"NotifyEmail": universe})
+        assert "AS" in t3.render()
+
+
+class TestProbeCampaignAnalysis:
+    def test_observed_rate_matches_paper_band(self, probe_world):
+        universe, _, result = probe_world
+        row = A.probe_spf_row("TwoWeekMX", universe, result)
+        domain_rate = row.validating_domains / row.total_domains
+        mta_rate = row.validating_mtas / row.total_mtas
+        assert 0.04 < domain_rate < 0.30  # paper: 13%
+        assert 0.04 < mta_rate < 0.30  # paper: 14%
+
+    def test_every_probed_mta_has_result_per_test(self, probe_world):
+        _, _, result = probe_world
+        from repro.core.policies import POLICIES
+
+        per_mta = {}
+        for probe in result.results:
+            per_mta.setdefault(probe.mtaid, set()).add(probe.testid)
+        for mtaid, tests in per_mta.items():
+            assert len(tests) == len(POLICIES)
+
+    def test_decile_rows_cover_all_nonlocal_domains(self, probe_world):
+        universe, _, result = probe_world
+        rows = A.decile_rows(universe, result)
+        assert len(rows) == 10
+        total = sum(row.total_domains for row in rows)
+        nonlocal_count = sum(
+            1
+            for d in universe.domains
+            if not d.is_local and any(h.mtaid in result.probed for h in d.mta_hosts)
+        )
+        assert total == nonlocal_count
+
+    def test_behavior_stats_complete(self, probe_world):
+        _, _, result = probe_world
+        stats = A.behavior_stats(result)
+        labels = [stat.label for stat in stats]
+        assert len(labels) == 17
+        for stat in stats:
+            assert 0 <= stat.percent <= 100
+
+    def test_lookup_limit_cdf_monotone(self, probe_world):
+        _, _, result = probe_world
+        limits = A.lookup_limit_analysis(result)
+        fractions = [fraction for _, _, fraction in limits.cdf]
+        assert fractions == sorted(fractions)
+        if limits.cdf:
+            assert fractions[-1] == pytest.approx(1.0)
+
+    def test_probe_counts_table2(self, probe_world):
+        universe, _, result = probe_world
+        counts = A.probe_counts("TwoWeekMX", universe, result)
+        assert counts.ipv4 > 0
+        assert counts.domains > 0
+
+    def test_spf_summary_table_renders(self, probe_world):
+        universe, _, result = probe_world
+        rows = [A.probe_spf_row("TwoWeekMX", universe, result)]
+        rows += A.decile_rows(universe, result)
+        text = A.spf_summary_table(rows).render()
+        assert "Decile 10" in text
+
+
+class TestNotifyMxConsistency:
+    @pytest.fixture(scope="class")
+    def both_campaigns(self):
+        universe = generate_universe(DatasetSpec.notify_email(scale=0.004), seed=105)
+        testbed = Testbed(universe, seed=106)
+        notify = NotifyEmailCampaign(testbed).run()
+        apply_reputation_effects(universe, seed=107)
+        probe = ProbeCampaign(testbed, "NotifyMX", start_time=1e6).run()
+        return universe, notify, probe
+
+    def test_probe_rate_lower_than_notify_rate(self, both_campaigns):
+        universe, notify, probe = both_campaigns
+        analysis = A.analyze_notify(notify)
+        notify_rate = len(analysis.validating("spf")) / analysis.total
+        row = A.probe_spf_row("NotifyMX", universe, probe)
+        probe_rate = row.validating_domains / row.total_domains
+        assert probe_rate < notify_rate  # the Section 6.2 headline
+
+    def test_consistency_stats(self, both_campaigns):
+        universe, notify, probe = both_campaigns
+        analysis = A.analyze_notify(notify)
+        stats = A.consistency_stats(universe, analysis, probe)
+        assert stats.common_domains > 0
+        # Inconsistency overwhelmingly means notify-validating but
+        # probe-silent (paper: 95% of inconsistent cases).
+        assert stats.notify_only >= stats.probe_only
+
+    def test_rejection_stats(self, both_campaigns):
+        _, _, probe = both_campaigns
+        stats = A.rejection_stats(probe)
+        total = stats.total_mtas
+        assert 0.15 < stats.spam / total < 0.40  # paper: 27%
+        assert stats.blacklist / total < 0.10  # paper: 3%
+
+
+class TestReportHelpers:
+    def test_pct(self):
+        assert pct(1, 4) == "25.0%"
+        assert pct(1, 3, 0) == "33%"
+        assert pct(1, 0) == "n/a"
+
+    def test_table_render_alignment(self):
+        table = Table("T", ["a", "bee"])
+        table.add("x", 12)
+        table.notes.append("hello")
+        text = table.render()
+        assert "T\n=" in text
+        assert "note: hello" in text

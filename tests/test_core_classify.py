@@ -1,0 +1,182 @@
+"""Unit tests for the query-log classifiers, on hand-built logs."""
+
+from repro.core import classify
+from repro.core.classify import (
+    T02_ORDER,
+    classify_helo,
+    classify_lookup_limit,
+    classify_multiple_records,
+    classify_notify_domain,
+    classify_serial_parallel,
+    classify_tcp_fallback,
+    count_mx_address_lookups,
+    count_void_targets,
+    did_mx_fallback,
+    first_spf_lookup_time,
+    retrieved_over_ipv6,
+    spf_validated,
+)
+from repro.core.querylog import AttributedQuery
+from repro.dns.name import Name
+from repro.dns.rdata import RdataType
+from repro.dns.server import QueryLogEntry
+
+
+def q(sub, qtype=RdataType.TXT, t=1.0, transport="udp", experiment="probe", mtaid="m1", testid="t01"):
+    labels = sub + (testid, mtaid, "spf-test", "dns-lab", "org")
+    entry = QueryLogEntry(t, Name(labels), qtype, transport, "203.0.113.1")
+    return AttributedQuery(entry, experiment, mtaid, testid, sub)
+
+
+class TestSpfValidated:
+    def test_base_txt_counts(self):
+        assert spf_validated([q((), RdataType.TXT)])
+
+    def test_sub_queries_alone_do_not(self):
+        assert not spf_validated([q(("l1",), RdataType.TXT)])
+
+    def test_base_a_does_not(self):
+        assert not spf_validated([q((), RdataType.A)])
+
+
+class TestSerialParallel:
+    def test_serial(self):
+        queries = [
+            q((), t=0.0), q(("l1",), t=1.0), q(("l2",), t=2.0), q(("l3",), t=3.0),
+            q(("foo",), RdataType.A, t=4.0),
+        ]
+        observation = classify_serial_parallel("m1", queries)
+        assert observation.parallel is False
+
+    def test_parallel(self):
+        queries = [
+            q((), t=0.0), q(("l1",), t=1.0), q(("foo",), RdataType.A, t=1.1),
+            q(("l2",), t=2.0), q(("l3",), t=3.0),
+        ]
+        assert classify_serial_parallel("m1", queries).parallel is True
+
+    def test_a_without_l3_is_parallel_evidence(self):
+        queries = [q((), t=0.0), q(("foo",), RdataType.A, t=0.5)]
+        assert classify_serial_parallel("m1", queries).parallel is True
+
+    def test_undecidable_without_a(self):
+        queries = [q((), t=0.0), q(("l1",), t=1.0)]
+        assert classify_serial_parallel("m1", queries).parallel is None
+
+
+class TestLookupLimit:
+    def test_count_from_last_name(self):
+        queries = [q(("b1l%d" % i,), testid="t02", t=float(i)) for i in range(1, 6)]
+        observation = classify_lookup_limit("m1", queries)
+        assert observation.queries_issued == T02_ORDER["b1l5"]
+        assert observation.elapsed_lower_bound == (T02_ORDER["b1l5"] - 1) * 0.8
+
+    def test_full_run(self):
+        queries = [q((name,), testid="t02", t=float(i)) for name, i in T02_ORDER.items()]
+        observation = classify_lookup_limit("m1", queries)
+        assert observation.ran_everything
+        assert observation.queries_issued == 46
+
+    def test_base_only_is_zero(self):
+        observation = classify_lookup_limit("m1", [q((), testid="t02")])
+        assert observation.queries_issued == 0
+        assert observation.halted_within_limit
+
+
+class TestSimpleClassifiers:
+    def test_helo(self):
+        obs = classify_helo("m1", [q(("h",), testid="t03"), q((), testid="t03")])
+        assert obs.checked_helo and obs.proceeded_to_mail_domain
+        obs = classify_helo("m1", [q((), testid="t03")])
+        assert not obs.checked_helo
+
+    def test_continued_past_error(self):
+        assert classify.continued_past_error([q(("after",), RdataType.A, testid="t04")])
+        assert not classify.continued_past_error([q((), testid="t04")])
+
+    def test_void_counter(self):
+        queries = [q(("v%d" % i,), RdataType.A, testid="t06") for i in (1, 2, 4)]
+        assert count_void_targets(queries) == 3
+        # Duplicate queries for one name count once.
+        queries += [q(("v1",), RdataType.AAAA, testid="t06")]
+        assert count_void_targets(queries) == 3
+
+    def test_mx_fallback(self):
+        assert did_mx_fallback([q((), testid="t07")]) is None
+        mx_only = [q(("nomx",), RdataType.MX, testid="t07")]
+        assert did_mx_fallback(mx_only) is False
+        with_a = mx_only + [q(("nomx",), RdataType.A, testid="t07")]
+        assert did_mx_fallback(with_a) is True
+
+    def test_multiple_records(self):
+        assert classify_multiple_records("m1", []).category == "neither"
+        assert classify_multiple_records("m1", [q(("pol1",), RdataType.A, testid="t08")]).category == "one"
+        both = [q(("pol1",), RdataType.A, testid="t08"), q(("pol2",), RdataType.A, testid="t08")]
+        assert classify_multiple_records("m1", both).category == "both"
+
+    def test_tcp_fallback(self):
+        udp_only = [q(("l1tcp",), transport="udp", testid="t09")]
+        obs = classify_tcp_fallback("m1", udp_only)
+        assert obs.tried_udp and not obs.retried_tcp
+        both = udp_only + [q(("l1tcp",), transport="tcp", testid="t09")]
+        assert classify_tcp_fallback("m1", both).retried_tcp
+
+    def test_ipv6_retrieval(self):
+        assert retrieved_over_ipv6([]) is None
+        probe_only = [q((), testid="t10")]
+        assert retrieved_over_ipv6(probe_only) is False
+        with_v6 = probe_only + [q(("l1",), experiment="v6", testid="t10")]
+        assert retrieved_over_ipv6(with_v6) is True
+
+    def test_mx_address_count(self):
+        assert count_mx_address_lookups([q((), testid="t11")]) is None
+        queries = [q(("many",), RdataType.MX, testid="t11")]
+        queries += [q(("h%02d" % i,), RdataType.A, testid="t11") for i in range(1, 13)]
+        assert count_mx_address_lookups(queries) == 12
+
+    def test_exp_fetch(self):
+        assert classify.fetched_explanation([q(("why",), testid="t22")])
+        assert not classify.fetched_explanation([q((), testid="t22")])
+
+    def test_redirect_after_all(self):
+        assert classify.followed_redirect_after_all([q(("r",), testid="t32")])
+
+    def test_ip_macro_expansion(self):
+        expanded = [q(("1", "2", "0", "192", "in-addr", "e"), RdataType.A, testid="t20")]
+        assert classify.expanded_ip_macro(expanded)
+        assert not classify.expanded_ip_macro([q((), testid="t20")])
+
+
+def nq(sub, qtype=RdataType.TXT, t=1.0):
+    labels = sub + ("d00001", "dsav-mail", "dns-lab", "org")
+    entry = QueryLogEntry(t, Name(labels), qtype, "udp", "203.0.113.1")
+    return AttributedQuery(entry, "notify", "d00001", "notify", sub)
+
+
+class TestNotifyClassification:
+    def test_full_validation(self):
+        queries = [
+            nq((), t=1.0),
+            nq(("l1",), t=2.0),
+            nq(("mta",), RdataType.A, t=3.0),
+            nq(("sel", "_domainkey"), t=4.0),
+            nq(("_dmarc",), t=5.0),
+        ]
+        obs = classify_notify_domain("d00001", queries)
+        assert obs.combo == (True, True, True)
+        assert obs.spf_completed
+        assert not obs.partial_spf
+
+    def test_partial_spf(self):
+        obs = classify_notify_domain("d00001", [nq(())])
+        assert obs.spf and not obs.spf_completed
+        assert obs.partial_spf
+
+    def test_dkim_only(self):
+        obs = classify_notify_domain("d00001", [nq(("sel", "_domainkey"))])
+        assert obs.combo == (False, True, False)
+
+    def test_first_spf_lookup_time(self):
+        queries = [nq((), t=9.0), nq((), t=4.0), nq(("l1",), t=1.0)]
+        assert first_spf_lookup_time(queries) == 4.0
+        assert first_spf_lookup_time([nq(("l1",))]) is None

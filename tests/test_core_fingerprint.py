@@ -1,0 +1,144 @@
+"""Tests for validator fingerprinting (the paper's s8 future work)."""
+
+import pytest
+
+from repro.core import fingerprint
+from repro.core.campaign import ProbeCampaign, Testbed
+from repro.core.datasets import DatasetSpec, generate_universe
+from repro.core.fingerprint import (
+    FEATURES,
+    BehaviorVector,
+    behavior_vector,
+    fingerprint_fleet,
+)
+from repro.core.probe import ProbeClient
+from repro.core.synth import SynthConfig, SynthesizingAuthority
+from repro.dns.resolver import AuthorityDirectory
+from repro.mta.behavior import MtaBehavior
+from repro.mta.receiver import ReceivingMta
+from repro.net.clock import Clock
+from repro.net.latency import LatencyModel
+from repro.net.network import Network
+
+
+class TestBehaviorVector:
+    def test_feature_accessor(self):
+        vector = BehaviorVector(tuple(["serial"] + [None] * (len(FEATURES) - 1)))
+        assert vector.feature("lookup_order") == "serial"
+        assert vector.feature("ipv6") is None
+        assert vector.observed_features == 1
+
+    def test_text_rendering_skips_unobserved(self):
+        vector = BehaviorVector(tuple(["serial", "<=10"] + [None] * (len(FEATURES) - 2)))
+        text = vector.to_text()
+        assert "lookup_order=serial" in text
+        assert "ipv6" not in text
+
+    def test_vectors_hashable_and_comparable(self):
+        a = BehaviorVector(tuple([None] * len(FEATURES)))
+        b = BehaviorVector(tuple([None] * len(FEATURES)))
+        assert a == b and hash(a) == hash(b)
+
+
+def _probe_mta(behavior, mtaid, testids):
+    """Probe one MTA with the given policies and return the query index."""
+    network = Network(LatencyModel(0.004), Clock())
+    directory = AuthorityDirectory()
+    synth = SynthesizingAuthority(SynthConfig())
+    synth.deploy(network, directory)
+    mta = ReceivingMta("fp.mx.example", network, directory, behavior, ipv4="198.51.100.70")
+    mta.attach()
+    probe = ProbeClient(network, synth.config, sleep_seconds=1.0)
+    t = 0.0
+    for testid in testids:
+        _, t = probe.probe("198.51.100.70", mtaid, testid, "fp.example", t)
+    from repro.core.querylog import QueryIndex, attribute_queries
+
+    return QueryIndex(attribute_queries(synth.query_log))
+
+
+FP_TESTS = ["t01", "t02", "t04", "t06", "t08", "t11"]
+
+
+class TestVectorFromLog:
+    def test_strict_validator_profile(self):
+        behavior = MtaBehavior(accepts_any_recipient=True, validates_dkim=False, validates_dmarc=False)
+        index = _probe_mta(behavior, "mstrict", FP_TESTS)
+        vector = behavior_vector("mstrict", index)
+        assert vector.feature("lookup_order") == "serial"
+        assert vector.feature("lookup_limit") == "<=10"
+        assert vector.feature("syntax_main") == "stops"
+        assert vector.feature("void_budget") == "2"
+        assert vector.feature("multiple_records") == "neither"
+        assert vector.feature("mx_addr_limit") == "<=10"
+
+    def test_wild_validator_profile_differs(self):
+        behavior = MtaBehavior(
+            accepts_any_recipient=True,
+            validates_dkim=False,
+            validates_dmarc=False,
+            spf_max_dns_mechanisms=None,
+            spf_max_void_lookups=None,
+            spf_max_mx_addresses=None,
+            spf_tolerant_syntax=True,
+            spf_on_multiple_records="first",
+        )
+        index = _probe_mta(behavior, "mwild", FP_TESTS)
+        vector = behavior_vector("mwild", index)
+        assert vector.feature("lookup_limit") == "all46"
+        assert vector.feature("syntax_main") == "continues"
+        assert vector.feature("void_budget") == "5"
+        assert vector.feature("multiple_records") == "one"
+        assert vector.feature("mx_addr_limit") == "all20"
+
+    def test_identical_configs_identical_vectors(self):
+        behavior = MtaBehavior(accepts_any_recipient=True, validates_dkim=False, validates_dmarc=False)
+        a = behavior_vector("ma", _probe_mta(behavior, "ma", FP_TESTS))
+        b = behavior_vector("mb", _probe_mta(
+            MtaBehavior(accepts_any_recipient=True, validates_dkim=False, validates_dmarc=False),
+            "mb", FP_TESTS))
+        assert a == b
+
+    def test_non_validator_has_no_features(self):
+        behavior = MtaBehavior(
+            accepts_any_recipient=True,
+            validates_spf=False, validates_dkim=False, validates_dmarc=False,
+        )
+        index = _probe_mta(behavior, "msilent", FP_TESTS)
+        vector = behavior_vector("msilent", index)
+        assert vector.observed_features == 0
+
+
+class TestFleetFingerprinting:
+    @pytest.fixture(scope="class")
+    def report(self):
+        universe = generate_universe(DatasetSpec.notify_email(scale=0.004), seed=201)
+        testbed = Testbed(universe, seed=202)
+        result = ProbeCampaign(testbed, "fp").run()
+        return fingerprint_fleet(result)
+
+    def test_clusters_partition_validators(self, report):
+        members = [m for cluster in report.clusters.values() for m in cluster]
+        assert len(members) == len(set(members))
+        assert report.total_mtas == len(members)
+        assert report.distinct_profiles >= 2
+
+    def test_entropy_positive_for_diverse_fleet(self, report):
+        assert report.entropy_bits() > 0.5
+
+    def test_largest_clusters_ordered(self, report):
+        sizes = [size for _, size in report.largest(5)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_table_renders(self, report):
+        text = report.to_table().render()
+        assert "distinct profiles" in text
+
+    def test_min_features_filter(self):
+        universe = generate_universe(DatasetSpec.notify_email(scale=0.003), seed=203)
+        testbed = Testbed(universe, seed=204)
+        result = ProbeCampaign(testbed, "fp2", testids=["t12"]).run()
+        report = fingerprint_fleet(result, min_features=3)
+        # A single baseline policy cannot expose three features.
+        assert report.distinct_profiles == 0
+        assert report.skipped

@@ -1,0 +1,170 @@
+"""Tests for the probe client and query attribution."""
+
+import pytest
+
+from repro.core.probe import DEFAULT_USERNAMES, ProbeClient
+from repro.core.querylog import QueryIndex, attribute_queries
+from repro.core.synth import SynthConfig, SynthesizingAuthority
+from repro.dns.name import Name
+from repro.dns.rdata import RdataType
+from repro.dns.resolver import AuthorityDirectory
+from repro.dns.server import QueryLogEntry
+from repro.mta.behavior import MtaBehavior, SpfTrigger
+from repro.mta.receiver import ReceivingMta
+from repro.net.clock import Clock
+from repro.net.latency import LatencyModel
+from repro.net.network import Network
+
+MTA_IP = "198.51.100.60"
+
+
+@pytest.fixture
+def rig():
+    network = Network(LatencyModel(0.005), Clock())
+    directory = AuthorityDirectory()
+    config = SynthConfig()
+    synth = SynthesizingAuthority(config)
+    synth.deploy(network, directory)
+    probe = ProbeClient(network, config, sleep_seconds=15.0)
+    return network, directory, synth, probe
+
+
+def _mta(network, directory, behavior):
+    mta = ReceivingMta("mx.target.example", network, directory, behavior, ipv4=MTA_IP)
+    mta.attach()
+    return mta
+
+
+class TestProbeConversation:
+    def test_full_walk_never_delivers(self, rig):
+        network, directory, synth, probe = rig
+        mta = _mta(network, directory, MtaBehavior(accepts_any_recipient=True,
+                                                   validates_dkim=False, validates_dmarc=False))
+        result, t = probe.probe(MTA_IP, "m00001", "t12", "target.example", 0.0)
+        assert result.completed_envelope
+        assert result.stage_reached == "done"
+        assert not mta.deliveries  # the no-delivery guarantee
+        stages = [stage for stage, _, _ in result.replies]
+        assert stages == ["ehlo", "mail", "rcpt", "data"]
+        assert result.accepted_username == "michael"
+        # Three 15-second sleeps dominate the conversation time.
+        assert t - result.t_started >= 45.0
+
+    def test_username_fallback_to_postmaster(self, rig):
+        network, directory, synth, probe = rig
+        _mta(network, directory, MtaBehavior(validates_dkim=False, validates_dmarc=False))
+        result, _ = probe.probe(MTA_IP, "m00002", "t12", "target.example", 0.0)
+        assert result.accepted_username == "postmaster"
+        rcpt_replies = [r for r in result.replies if r[0] == "rcpt"]
+        assert len(rcpt_replies) == len(DEFAULT_USERNAMES)
+
+    def test_all_recipients_rejected(self, rig):
+        network, directory, synth, probe = rig
+        behavior = MtaBehavior(accepts_any_recipient=False, accepts_postmaster=False,
+                               validates_dkim=False, validates_dmarc=False)
+        _mta(network, directory, behavior)
+        result, _ = probe.probe(MTA_IP, "m00003", "t12", "target.example", 0.0)
+        assert result.invalid_recipient
+        assert result.stage_reached == "mail"
+
+    def test_blacklist_rejection_detected(self, rig):
+        network, directory, synth, probe = rig
+        _mta(network, directory, MtaBehavior(blacklist_rejection="spam",
+                                             validates_dkim=False, validates_dmarc=False))
+        result, _ = probe.probe(MTA_IP, "m00004", "t12", "target.example", 0.0)
+        assert result.rejected_mentioning == "spam"
+        assert result.error_stage == "mail"
+
+    def test_unreachable_target(self, rig):
+        network, directory, synth, probe = rig
+        result, _ = probe.probe("198.51.100.61", "m00005", "t12", "target.example", 0.0)
+        assert result.error_stage == "connect"
+
+    def test_probe_elicits_validation_queries(self, rig):
+        network, directory, synth, probe = rig
+        _mta(network, directory, MtaBehavior(accepts_any_recipient=True,
+                                             validates_dkim=False, validates_dmarc=False))
+        probe.probe(MTA_IP, "m00006", "t12", "target.example", 0.0)
+        attributed = attribute_queries(synth.query_log)
+        assert any(q.mtaid == "m00006" and q.testid == "t12" for q in attributed)
+
+    def test_data_triggered_validation_still_observed(self, rig):
+        network, directory, synth, probe = rig
+        behavior = MtaBehavior(accepts_any_recipient=True, spf_trigger=SpfTrigger.ON_DATA,
+                               validates_dkim=False, validates_dmarc=False)
+        _mta(network, directory, behavior)
+        probe.probe(MTA_IP, "m00007", "t12", "target.example", 0.0)
+        attributed = attribute_queries(synth.query_log)
+        assert any(q.mtaid == "m00007" for q in attributed)
+
+    def test_post_delivery_validator_invisible_to_probe(self, rig):
+        network, directory, synth, probe = rig
+        behavior = MtaBehavior(accepts_any_recipient=True, spf_trigger=SpfTrigger.POST_DELIVERY,
+                               validates_dkim=False, validates_dmarc=False)
+        _mta(network, directory, behavior)
+        probe.probe(MTA_IP, "m00008", "t12", "target.example", 0.0)
+        attributed = attribute_queries(synth.query_log)
+        assert not any(q.mtaid == "m00008" for q in attributed)
+
+    def test_identities_embed_testid_and_mtaid(self, rig):
+        _, _, _, probe = rig
+        assert probe.from_address("m1", "t05") == "spf-test@t05.m1.spf-test.dns-lab.org"
+        assert probe.helo_name("m1", "t05") == "h.t05.m1.spf-test.dns-lab.org"
+
+
+class TestAttribution:
+    def _entry(self, qname, qtype=RdataType.TXT, t=1.0, transport="udp", client="203.0.113.1"):
+        return QueryLogEntry(t, Name(qname), qtype, transport, client)
+
+    def test_probe_suffix_attribution(self):
+        entries = [self._entry("l1.t02.m00042.spf-test.dns-lab.org")]
+        attributed = attribute_queries(entries)
+        assert len(attributed) == 1
+        query = attributed[0]
+        assert query.experiment == "probe"
+        assert query.mtaid == "m00042"
+        assert query.testid == "t02"
+        assert query.sub == ("l1",)
+        assert query.head == "l1"
+
+    def test_base_name_has_empty_head(self):
+        attributed = attribute_queries([self._entry("t12.m1.spf-test.dns-lab.org")])
+        assert attributed[0].head == ""
+
+    def test_v6_suffix_attribution(self):
+        attributed = attribute_queries([self._entry("l1.t10.m7.spf-test-v6.dns-lab.org")])
+        assert attributed[0].experiment == "v6"
+        assert attributed[0].testid == "t10"
+
+    def test_notify_suffix_attribution(self):
+        attributed = attribute_queries([self._entry("sel._domainkey.d00009.dsav-mail.dns-lab.org")])
+        query = attributed[0]
+        assert query.experiment == "notify"
+        assert query.mtaid == "d00009"
+        assert query.testid == "notify"
+        assert query.sub == ("sel", "_domainkey")
+
+    def test_unrelated_names_dropped(self):
+        attributed = attribute_queries([self._entry("www.example.com")])
+        assert attributed == []
+
+    def test_case_folding(self):
+        attributed = attribute_queries([self._entry("L1.T02.M00042.SPF-TEST.DNS-LAB.ORG")])
+        assert attributed[0].mtaid == "m00042"
+
+    def test_index_groupings(self):
+        entries = [
+            self._entry("t01.m1.spf-test.dns-lab.org", t=3.0),
+            self._entry("l1.t01.m1.spf-test.dns-lab.org", t=1.0),
+            self._entry("t02.m1.spf-test.dns-lab.org", t=2.0),
+            self._entry("t01.m2.spf-test.dns-lab.org", t=4.0),
+        ]
+        index = QueryIndex(attribute_queries(entries))
+        assert len(index) == 4
+        pair = index.for_pair("m1", "t01")
+        assert [q.timestamp for q in pair] == [1.0, 3.0]  # time-ordered
+        assert index.mtas_observed() == {"m1", "m2"}
+        assert index.mtas_observed("t02") == {"m1"}
+        assert index.tests_with_activity("m1") == {"t01", "t02"}
+        assert index.for_mta("m2")[0].testid == "t01"
+        assert index.for_pair("m9", "t01") == []

@@ -1,0 +1,67 @@
+"""Tests for the CLI experiment runner."""
+
+import pytest
+
+from repro.core.runner import build_parser, main
+from repro.core.trace import load_probe_results, load_query_index
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.experiment == "all"
+        assert args.scale == 0.01
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--experiment", "bogus"])
+
+
+class TestRunner:
+    def test_twoweekmx_run(self, tmp_path):
+        code = main([
+            "--experiment", "twoweekmx", "--scale", "0.003",
+            "--seed", "7", "--out", str(tmp_path), "--quiet",
+        ])
+        assert code == 0
+        report = (tmp_path / "twoweekmx_report.txt").read_text()
+        assert "Table 5" in report
+        assert "Decile 10" in report
+        assert "Section 7" in report
+        index = load_query_index(tmp_path / "twoweekmx_queries.jsonl")
+        probes = load_probe_results(tmp_path / "twoweekmx_probes.jsonl")
+        assert probes
+        # Every observed validator in the trace was actually probed.
+        probed = {probe.mtaid for probe in probes}
+        assert index.mtas_observed() <= probed
+
+    def test_notify_family_run(self, tmp_path):
+        code = main([
+            "--experiment", "notifyemail", "--scale", "0.003",
+            "--seed", "8", "--out", str(tmp_path), "--quiet",
+        ])
+        assert code == 0
+        report = (tmp_path / "notifyemail_report.txt").read_text()
+        assert "Table 4" in report
+        assert "Figure 2" in report
+        assert (tmp_path / "notifyemail_queries.jsonl").exists()
+
+    def test_notifymx_produces_fingerprints(self, tmp_path):
+        code = main([
+            "--experiment", "notifymx", "--scale", "0.003",
+            "--seed", "9", "--out", str(tmp_path), "--quiet",
+        ])
+        assert code == 0
+        report = (tmp_path / "notifymx_report.txt").read_text()
+        assert "fingerprints" in report
+        assert "rejections:" in report
+
+    def test_deterministic_given_seed(self, tmp_path):
+        for run in ("a", "b"):
+            main([
+                "--experiment", "twoweekmx", "--scale", "0.003",
+                "--seed", "42", "--out", str(tmp_path / run), "--quiet",
+            ])
+        a = (tmp_path / "a" / "twoweekmx_report.txt").read_text()
+        b = (tmp_path / "b" / "twoweekmx_report.txt").read_text()
+        assert a == b

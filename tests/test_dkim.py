@@ -1,0 +1,237 @@
+"""Tests for DKIM canonicalization, headers, key records, sign and verify."""
+
+import pytest
+
+from repro.dkim import (
+    DkimResult,
+    DkimSignature,
+    DkimSigner,
+    DkimVerifier,
+    KeyRecord,
+    canonicalize_body,
+    canonicalize_header,
+    generate_keypair,
+)
+from repro.dkim.errors import DkimKeyError, DkimSignatureError
+from repro.dns.rdata import TxtRecord
+from repro.smtp.message import EmailMessage
+from tests.helpers import World
+
+KEYPAIR = generate_keypair(1024, seed=77)
+
+
+class TestHeaderCanonicalization:
+    def test_simple_verbatim(self):
+        assert canonicalize_header("SUBJECT", " Hi  there ", "simple") == "SUBJECT:  Hi  there \r\n"
+
+    def test_relaxed_lowercases_and_collapses(self):
+        assert canonicalize_header("SUBJECT", " Hi  there ", "relaxed") == "subject:Hi there\r\n"
+
+    def test_relaxed_unfolds(self):
+        folded = "part one\r\n\tpart two"
+        assert canonicalize_header("X", folded, "relaxed") == "x:part one part two\r\n"
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            canonicalize_header("a", "b", "bogus")
+
+
+class TestBodyCanonicalization:
+    def test_simple_strips_trailing_blank_lines(self):
+        assert canonicalize_body("line\r\n\r\n\r\n", "simple") == "line\r\n"
+
+    def test_simple_adds_final_crlf(self):
+        assert canonicalize_body("line", "simple") == "line\r\n"
+
+    def test_simple_empty_body_is_crlf(self):
+        assert canonicalize_body("", "simple") == "\r\n"
+
+    def test_relaxed_empty_body_is_empty(self):
+        assert canonicalize_body("", "relaxed") == ""
+
+    def test_relaxed_collapses_wsp(self):
+        assert canonicalize_body("a \t b\t\r\n", "relaxed") == "a b\r\n"
+
+    def test_relaxed_strips_trailing_wsp(self):
+        assert canonicalize_body("hello   \r\nworld\t\r\n", "relaxed") == "hello\r\nworld\r\n"
+
+
+class TestSignatureHeader:
+    def test_roundtrip(self):
+        signature = DkimSignature(
+            domain="example.com",
+            selector="s1",
+            body_hash="Ym9keQ==",
+            signature="c2ln",
+            signed_headers=["from", "subject"],
+            timestamp=1600000000,
+        )
+        parsed = DkimSignature.from_header_value(signature.to_header_value())
+        assert parsed.domain == "example.com"
+        assert parsed.selector == "s1"
+        assert parsed.signed_headers == ["from", "subject"]
+        assert parsed.timestamp == 1600000000
+
+    def test_key_query_domain(self):
+        signature = DkimSignature(domain="example.com", selector="sel1")
+        assert signature.key_query_domain == "sel1._domainkey.example.com"
+
+    def test_missing_required_tag(self):
+        with pytest.raises(DkimSignatureError):
+            DkimSignature.from_header_value("v=1; a=rsa-sha256; d=e.com; s=s1; h=from; bh=x")
+
+    def test_from_must_be_signed(self):
+        with pytest.raises(DkimSignatureError):
+            DkimSignature.from_header_value(
+                "v=1; a=rsa-sha256; d=e.com; s=s1; h=subject; bh=x; b=y"
+            )
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(DkimSignatureError):
+            DkimSignature.from_header_value("v=2; a=rsa-sha256; d=e; s=s; h=from; bh=x; b=y")
+
+    def test_folded_value_parses(self):
+        value = "v=1; a=rsa-sha256; d=e.com; s=s1;\r\n\th=from:to; bh=aGk=;\r\n\tb=c2ln"
+        parsed = DkimSignature.from_header_value(value)
+        assert parsed.signed_headers == ["from", "to"]
+        assert parsed.signature == "c2ln"
+
+
+class TestKeyRecord:
+    def test_roundtrip(self):
+        record = KeyRecord(public_key_b64=KEYPAIR.public.to_base64())
+        parsed = KeyRecord.from_text(record.to_text())
+        assert parsed.public_key_b64 == KEYPAIR.public.to_base64()
+        assert not parsed.revoked
+
+    def test_revoked_key(self):
+        assert KeyRecord.from_text("v=DKIM1; k=rsa; p=").revoked
+
+    def test_missing_p_rejected(self):
+        with pytest.raises(DkimKeyError):
+            KeyRecord.from_text("v=DKIM1; k=rsa")
+
+    def test_unsupported_key_type(self):
+        with pytest.raises(DkimKeyError):
+            KeyRecord.from_text("v=DKIM1; k=ed25519; p=xyz")
+
+
+def _signed_message(**kwargs):
+    message = EmailMessage(
+        [
+            ("From", "alice@sender.example"),
+            ("To", "bob@rcpt.example"),
+            ("Subject", "Notification of network issue"),
+            ("Date", "Thu, 01 Oct 2020 12:00:00 +0000"),
+            ("Message-ID", "<m1@sender.example>"),
+        ],
+        "Dear operator,\r\n\r\nPlease review the attached findings.\r\n",
+    )
+    signer = DkimSigner("sender.example", "sel1", KEYPAIR.private, **kwargs)
+    signer.sign(message, timestamp=1601553600)
+    return message
+
+
+@pytest.fixture
+def world():
+    world = World(seed=41)
+    zone = world.zone("sender.example")
+    zone.add(
+        "sel1._domainkey.sender.example",
+        TxtRecord(KeyRecord(public_key_b64=KEYPAIR.public.to_base64()).to_text()),
+    )
+    return world
+
+
+class TestSignVerify:
+    @pytest.mark.parametrize("canon", ["relaxed/relaxed", "simple/simple", "relaxed/simple", "simple/relaxed"])
+    def test_roundtrip_all_canonicalizations(self, world, canon):
+        message = _signed_message(canonicalization=canon)
+        outcome, _ = DkimVerifier(world.resolver()).verify(message, 0.0)
+        assert outcome.result is DkimResult.PASS
+
+    def test_roundtrip_survives_transport_reparse(self, world):
+        message = _signed_message()
+        reparsed = EmailMessage.from_text(message.to_text())
+        outcome, _ = DkimVerifier(world.resolver()).verify(reparsed, 0.0)
+        assert outcome.result is DkimResult.PASS
+
+    def test_verification_emits_key_query(self, world):
+        message = _signed_message()
+        DkimVerifier(world.resolver()).verify(message, 0.0)
+        qnames = [str(e.qname) for e in world.server.query_log]
+        assert "sel1._domainkey.sender.example." in qnames
+
+    def test_body_tamper_fails(self, world):
+        message = _signed_message()
+        message.body = message.body.replace("operator", "0perator")
+        outcome, _ = DkimVerifier(world.resolver()).verify(message, 0.0)
+        assert outcome.result is DkimResult.FAIL
+        assert outcome.reason == "body hash mismatch"
+
+    def test_signed_header_tamper_fails(self, world):
+        message = _signed_message()
+        message.headers = [
+            (n, "Changed subject" if n.lower() == "subject" else v) for n, v in message.headers
+        ]
+        outcome, _ = DkimVerifier(world.resolver()).verify(message, 0.0)
+        assert outcome.result is DkimResult.FAIL
+        assert outcome.reason == "signature mismatch"
+
+    def test_unsigned_header_tamper_passes(self, world):
+        message = _signed_message()
+        message.add_header("X-Extra", "anything at all")
+        outcome, _ = DkimVerifier(world.resolver()).verify(message, 0.0)
+        assert outcome.result is DkimResult.PASS
+
+    def test_relaxed_survives_whitespace_mangling(self, world):
+        message = _signed_message(canonicalization="relaxed/relaxed")
+        message.headers = [
+            (n, v.replace(" ", "  ") if n.lower() == "subject" else v) for n, v in message.headers
+        ]
+        outcome, _ = DkimVerifier(world.resolver()).verify(message, 0.0)
+        assert outcome.result is DkimResult.PASS
+
+    def test_simple_breaks_on_whitespace_mangling(self, world):
+        message = _signed_message(canonicalization="simple/simple")
+        message.headers = [
+            (n, v.replace(" ", "  ") if n.lower() == "subject" else v) for n, v in message.headers
+        ]
+        outcome, _ = DkimVerifier(world.resolver()).verify(message, 0.0)
+        assert outcome.result is DkimResult.FAIL
+
+    def test_unsigned_message_is_none(self, world):
+        message = EmailMessage([("From", "a@b.example")], "x")
+        outcome, _ = DkimVerifier(world.resolver()).verify(message, 0.0)
+        assert outcome.result is DkimResult.NONE
+
+    def test_missing_key_is_permerror(self, world):
+        message = _signed_message()
+        world.server.zones[0].remove("sel1._domainkey.sender.example", TxtRecord("x").rdtype)
+        outcome, _ = DkimVerifier(world.resolver()).verify(message, 0.0)
+        assert outcome.result is DkimResult.PERMERROR
+
+    def test_unreachable_dns_is_temperror(self, world):
+        message = _signed_message()
+        # Point the signature at a domain with no authoritative server.
+        message.headers[0] = (
+            "DKIM-Signature",
+            message.headers[0][1].replace("d=sender.example", "d=unreg.example"),
+        )
+        outcome, _ = DkimVerifier(world.resolver()).verify(message, 0.0)
+        assert outcome.result is DkimResult.TEMPERROR
+
+    def test_revoked_key_is_permerror(self, world):
+        message = _signed_message()
+        zone = world.server.zones[0]
+        from repro.dns.rdata import RdataType
+
+        zone.remove("sel1._domainkey.sender.example", RdataType.TXT)
+        zone.add("sel1._domainkey.sender.example", TxtRecord("v=DKIM1; k=rsa; p="))
+        outcome, _ = DkimVerifier(world.resolver()).verify(message, 0.0)
+        assert outcome.result is DkimResult.PERMERROR
+
+    def test_signer_requires_from(self):
+        message = EmailMessage([("To", "x@y.example")], "body")
+        with pytest.raises(ValueError):
+            DkimSigner("sender.example", "sel1", KEYPAIR.private).sign(message)

@@ -1,0 +1,171 @@
+"""Tests for DMARC: PSL, record parsing, discovery, alignment, disposition."""
+
+import pytest
+
+from repro.dmarc import (
+    AlignmentMode,
+    DmarcDisposition,
+    DmarcEvaluator,
+    DmarcPolicy,
+    DmarcRecord,
+    DmarcResult,
+    PublicSuffixList,
+    organizational_domain,
+)
+from repro.dmarc.record import DmarcRecordError, looks_like_dmarc
+from repro.dns.rdata import TxtRecord
+from tests.helpers import World
+
+
+class TestPsl:
+    def test_simple_tld(self):
+        assert organizational_domain("mail.corp.example.com") == "example.com"
+
+    def test_bare_org_domain(self):
+        assert organizational_domain("example.com") == "example.com"
+
+    def test_multi_label_suffix(self):
+        assert organizational_domain("www.shop.example.co.uk") == "example.co.uk"
+
+    def test_name_equal_to_suffix(self):
+        assert organizational_domain("co.uk") == "co.uk"
+
+    def test_unknown_suffix_falls_back_to_two_labels(self):
+        assert organizational_domain("a.b.somethingmadeup") == "b.somethingmadeup"
+
+    def test_case_and_trailing_dot(self):
+        assert organizational_domain("Mail.EXAMPLE.Com.") == "example.com"
+
+    def test_custom_suffix(self):
+        psl = PublicSuffixList()
+        psl.add_suffix("dns-lab.org")
+        assert psl.organizational_domain("x.y.dns-lab.org") == "y.dns-lab.org"
+
+    def test_public_suffix_lookup(self):
+        psl = PublicSuffixList()
+        assert psl.public_suffix("a.b.co.uk") == "co.uk"
+        assert psl.public_suffix("a.b.com") == "com"
+        assert psl.public_suffix("unknownsuffix") is None
+
+
+class TestRecord:
+    def test_minimal(self):
+        record = DmarcRecord.from_text("v=DMARC1; p=none")
+        assert record.policy is DmarcPolicy.NONE
+        assert record.percent == 100
+
+    def test_full(self):
+        record = DmarcRecord.from_text(
+            "v=DMARC1; p=quarantine; sp=reject; aspf=s; adkim=r; pct=42; "
+            "rua=mailto:agg@e.com,mailto:agg2@e.com; ruf=mailto:forensic@e.com"
+        )
+        assert record.policy is DmarcPolicy.QUARANTINE
+        assert record.subdomain_policy is DmarcPolicy.REJECT
+        assert record.spf_alignment is AlignmentMode.STRICT
+        assert record.dkim_alignment is AlignmentMode.RELAXED
+        assert record.percent == 42
+        assert len(record.rua) == 2
+
+    def test_roundtrip(self):
+        record = DmarcRecord.from_text("v=DMARC1; p=reject; sp=none; aspf=s; pct=50")
+        assert DmarcRecord.from_text(record.to_text()).to_text() == record.to_text()
+
+    def test_missing_p_rejected(self):
+        with pytest.raises(DmarcRecordError):
+            DmarcRecord.from_text("v=DMARC1; rua=mailto:x@y.com")
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(DmarcRecordError):
+            DmarcRecord.from_text("v=DMARC1; p=destroy")
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(DmarcRecordError):
+            DmarcRecord.from_text("v=DMARC2; p=none")
+
+    def test_effective_policy(self):
+        record = DmarcRecord.from_text("v=DMARC1; p=reject; sp=none")
+        assert record.effective_policy(is_subdomain=False) is DmarcPolicy.REJECT
+        assert record.effective_policy(is_subdomain=True) is DmarcPolicy.NONE
+
+    def test_looks_like_dmarc(self):
+        assert looks_like_dmarc("v=DMARC1; p=none")
+        assert looks_like_dmarc("v=DMARC1")
+        assert not looks_like_dmarc("v=spf1 -all")
+
+
+@pytest.fixture
+def world():
+    world = World(seed=51)
+    zone = world.zone("brand.example")
+    zone.add("_dmarc.brand.example", TxtRecord("v=DMARC1; p=reject; sp=quarantine"))
+    return world
+
+
+def _evaluate(world, from_domain, spf=("fail", None), dkim=("fail", None), t=0.0):
+    evaluator = DmarcEvaluator(world.resolver(), psl=_psl())
+    return evaluator.evaluate(from_domain, spf[0], spf[1], dkim[0], dkim[1], t)
+
+
+def _psl():
+    psl = PublicSuffixList()
+    psl.add_suffix("example")
+    return psl
+
+
+class TestEvaluation:
+    def test_aligned_spf_passes(self, world):
+        outcome, _ = _evaluate(world, "brand.example", spf=("pass", "brand.example"))
+        assert outcome.result is DmarcResult.PASS
+        assert outcome.disposition is DmarcDisposition.NONE
+        assert outcome.spf_aligned and not outcome.dkim_aligned
+
+    def test_aligned_dkim_passes(self, world):
+        outcome, _ = _evaluate(world, "brand.example", dkim=("pass", "mail.brand.example"))
+        assert outcome.result is DmarcResult.PASS
+        assert outcome.dkim_aligned
+
+    def test_unaligned_pass_still_fails(self, world):
+        outcome, _ = _evaluate(world, "brand.example", spf=("pass", "other.example"))
+        assert outcome.result is DmarcResult.FAIL
+        assert outcome.disposition is DmarcDisposition.REJECT
+
+    def test_subdomain_policy_applies(self, world):
+        outcome, _ = _evaluate(world, "news.brand.example")
+        assert outcome.result is DmarcResult.FAIL
+        assert outcome.disposition is DmarcDisposition.QUARANTINE
+
+    def test_subdomain_falls_back_to_org_record(self, world):
+        outcome, _ = _evaluate(world, "deep.sub.brand.example")
+        assert outcome.policy_domain == "_dmarc.brand.example"
+        qnames = [str(e.qname) for e in world.server.query_log]
+        assert qnames == ["_dmarc.deep.sub.brand.example.", "_dmarc.brand.example."]
+
+    def test_no_policy_is_none(self, world):
+        world2 = World(seed=52)
+        world2.zone("nopolicy.example")
+        outcome, _ = DmarcEvaluator(world2.resolver(), psl=_psl()).evaluate(
+            "nopolicy.example", "pass", "nopolicy.example", "none", None, 0.0
+        )
+        assert outcome.result is DmarcResult.NONE
+        assert outcome.disposition is DmarcDisposition.NONE
+
+    def test_strict_spf_alignment(self, world):
+        zone = world.server.zones[0]
+        zone.add("_dmarc.strict.brand.example", TxtRecord("v=DMARC1; p=reject; aspf=s"))
+        outcome, _ = _evaluate(world, "strict.brand.example", spf=("pass", "brand.example"))
+        # Relaxed would align (same org domain); strict must not.
+        assert outcome.result is DmarcResult.FAIL
+
+    def test_multiple_records_permerror(self, world):
+        zone = world.server.zones[0]
+        zone.add("_dmarc.dup.brand.example", TxtRecord("v=DMARC1; p=none"))
+        zone.add("_dmarc.dup.brand.example", TxtRecord("v=DMARC1; p=reject"))
+        outcome, _ = _evaluate(world, "dup.brand.example")
+        assert outcome.result is DmarcResult.PERMERROR
+
+    def test_non_dmarc_txt_ignored(self, world):
+        zone = world.server.zones[0]
+        zone.add("_dmarc.mixed.brand.example", TxtRecord("some unrelated verification token"))
+        outcome, _ = _evaluate(world, "mixed.brand.example")
+        # Falls back to the org-domain record.
+        assert outcome.policy_domain == "_dmarc.brand.example"

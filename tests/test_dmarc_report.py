@@ -1,0 +1,163 @@
+"""Tests for DMARC aggregate reports (RFC 7489 Appendix C)."""
+
+import pytest
+
+from repro.dkim import DkimSigner, KeyRecord, generate_keypair
+from repro.dmarc.record import AlignmentMode, DmarcPolicy, DmarcRecord
+from repro.dmarc.report import (
+    AggregateReport,
+    PolicyPublished,
+    ReportMetadata,
+    ReportRow,
+    build_aggregate_report,
+)
+from repro.dns.rdata import TxtRecord
+from repro.mta.behavior import MtaBehavior
+from repro.mta.receiver import ReceivingMta
+from repro.smtp.client import SmtpClient
+from repro.smtp.message import EmailMessage
+from tests.helpers import World
+
+KEYPAIR = generate_keypair(1024, seed=121)
+
+
+def _sample_report():
+    metadata = ReportMetadata("mx.rcpt.example", "noreply@rcpt.example", "r-1", 0, 86400)
+    policy = PolicyPublished(
+        domain="sender.example",
+        policy=DmarcPolicy.REJECT,
+        subdomain_policy=DmarcPolicy.QUARANTINE,
+        aspf=AlignmentMode.STRICT,
+    )
+    report = AggregateReport(metadata=metadata, policy=policy)
+    report.rows.append(
+        ReportRow(
+            source_ip="203.0.113.5",
+            count=12,
+            disposition="none",
+            dkim_aligned="pass",
+            spf_aligned="pass",
+            header_from="sender.example",
+            spf_domain="sender.example",
+            spf_result="pass",
+            dkim_domain="sender.example",
+            dkim_result="pass",
+        )
+    )
+    report.rows.append(
+        ReportRow(
+            source_ip="198.51.100.66",
+            count=3,
+            disposition="reject",
+            dkim_aligned="fail",
+            spf_aligned="fail",
+            header_from="sender.example",
+        )
+    )
+    return report
+
+
+class TestXmlRoundtrip:
+    def test_roundtrip_preserves_structure(self):
+        report = _sample_report()
+        parsed = AggregateReport.from_xml(report.to_xml())
+        assert parsed.metadata.org_name == "mx.rcpt.example"
+        assert parsed.metadata.date_end == 86400
+        assert parsed.policy.policy is DmarcPolicy.REJECT
+        assert parsed.policy.subdomain_policy is DmarcPolicy.QUARANTINE
+        assert parsed.policy.aspf is AlignmentMode.STRICT
+        assert len(parsed.rows) == 2
+        assert parsed.message_count == 15
+        passing = next(row for row in parsed.rows if row.disposition == "none")
+        assert passing.count == 12
+        assert passing.spf_result == "pass"
+        rejected = next(row for row in parsed.rows if row.disposition == "reject")
+        assert rejected.dkim_domain is None
+
+    def test_schema_element_names(self):
+        xml = _sample_report().to_xml()
+        for tag in ("<feedback>", "<report_metadata>", "<policy_published>",
+                    "<policy_evaluated>", "<header_from>", "<auth_results>"):
+            assert tag in xml
+
+    def test_non_report_rejected(self):
+        with pytest.raises(ValueError):
+            AggregateReport.from_xml("<other/>")
+
+    def test_from_record_copies_fields(self):
+        record = DmarcRecord.from_text("v=DMARC1; p=quarantine; sp=none; adkim=s; pct=42")
+        published = PolicyPublished.from_record("d.example", record)
+        assert published.policy is DmarcPolicy.QUARANTINE
+        assert published.subdomain_policy is DmarcPolicy.NONE
+        assert published.adkim is AlignmentMode.STRICT
+        assert published.percent == 42
+
+
+class TestBuildFromReceiver:
+    MTA_IP = "198.51.100.90"
+    GOOD_IP = "203.0.113.90"
+    EVIL_IP = "203.0.113.91"
+
+    @pytest.fixture
+    def world(self):
+        world = World(seed=123)
+        zone = world.zone("sender.example")
+        zone.add("sender.example", TxtRecord("v=spf1 ip4:%s -all" % self.GOOD_IP))
+        zone.add(
+            "sel._domainkey.sender.example",
+            TxtRecord(KeyRecord(public_key_b64=KEYPAIR.public.to_base64()).to_text()),
+        )
+        zone.add("_dmarc.sender.example", TxtRecord("v=DMARC1; p=quarantine; rua=mailto:agg@sender.example"))
+        for address in (self.GOOD_IP, self.EVIL_IP):
+            world.network.add_address(address)
+        return world
+
+    def _deliver(self, world, source, signed):
+        message = EmailMessage(
+            [("From", "a@sender.example"), ("To", "b@rcpt.example"), ("Subject", "x"),
+             ("Date", "d"), ("Message-ID", "<%s@s>" % source)],
+            "body\r\n",
+        )
+        if signed:
+            DkimSigner("sender.example", "sel", KEYPAIR.private).sign(message)
+        client, t = SmtpClient.connect(world.network, source, self.MTA_IP, 0.0)
+        _, t = client.ehlo("client.example", t)
+        _, t = client.mail("a@sender.example", t)
+        _, t = client.rcpt("b@rcpt.example", t)
+        _, t = client.data_command(t)
+        reply, t = client.send_message(message, t)
+        client.abort(t)
+        return reply
+
+    def test_report_reflects_traffic(self, world):
+        mta = ReceivingMta(
+            "mx.rcpt.example", world.network, world.directory,
+            MtaBehavior(accepts_any_recipient=True, enforces_dmarc=False),
+            ipv4=self.MTA_IP,
+        )
+        mta.attach()
+        assert self._deliver(world, self.GOOD_IP, signed=True).code == 250
+        assert self._deliver(world, self.GOOD_IP, signed=True).code == 250
+        assert self._deliver(world, self.EVIL_IP, signed=False).code == 250  # not enforcing
+
+        report = build_aggregate_report(mta, "sender.example")
+        assert report is not None
+        assert report.message_count == 3
+        assert report.policy.policy is DmarcPolicy.QUARANTINE
+        by_ip = {row.source_ip: row for row in report.rows}
+        assert by_ip[self.GOOD_IP].count == 2
+        assert by_ip[self.GOOD_IP].disposition == "none"
+        assert by_ip[self.EVIL_IP].disposition == "quarantine"
+        assert by_ip[self.EVIL_IP].spf_aligned == "fail"
+        # And it serialises to parseable XML.
+        parsed = AggregateReport.from_xml(report.to_xml())
+        assert parsed.message_count == 3
+
+    def test_no_traffic_no_report(self, world):
+        mta = ReceivingMta(
+            "mx.rcpt.example", world.network, world.directory,
+            MtaBehavior(accepts_any_recipient=True),
+            ipv4=self.MTA_IP,
+        )
+        mta.attach()
+        assert build_aggregate_report(mta, "sender.example") is None

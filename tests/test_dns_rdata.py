@@ -1,0 +1,120 @@
+"""Tests for rdata types."""
+
+import pytest
+
+from repro.dns.rdata import (
+    AAAARecord,
+    ARecord,
+    CnameRecord,
+    MxRecord,
+    NsRecord,
+    PtrRecord,
+    RdataType,
+    ResourceRecord,
+    SoaRecord,
+    TxtRecord,
+)
+
+
+class TestAddresses:
+    def test_a_record(self):
+        assert ARecord("192.0.2.1").address == "192.0.2.1"
+
+    def test_a_record_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            ARecord("300.1.2.3")
+
+    def test_aaaa_canonicalises(self):
+        assert AAAARecord("2001:0db8:0000:0000:0000:0000:0000:0001").address == "2001:db8::1"
+
+    def test_aaaa_rejects_ipv4(self):
+        with pytest.raises(ValueError):
+            AAAARecord("192.0.2.1")
+
+
+class TestMx:
+    def test_fields(self):
+        mx = MxRecord(10, "mail.example.com")
+        assert mx.preference == 10
+        assert mx.exchange == "mail.example.com"
+
+    def test_preference_range(self):
+        with pytest.raises(ValueError):
+            MxRecord(-1, "m.example")
+        with pytest.raises(ValueError):
+            MxRecord(70000, "m.example")
+
+    def test_to_text(self):
+        assert MxRecord(5, "m.example.com").to_text() == "5 m.example.com."
+
+
+class TestTxt:
+    def test_single_string(self):
+        assert TxtRecord("hello").strings == ("hello",)
+
+    def test_long_string_auto_split(self):
+        record = TxtRecord("x" * 600)
+        assert [len(part) for part in record.strings] == [255, 255, 90]
+        assert record.text == "x" * 600
+
+    def test_explicit_strings_joined(self):
+        assert TxtRecord(["v=spf1 ", "-all"]).text == "v=spf1 -all"
+
+    def test_oversize_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            TxtRecord(["y" * 256])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            TxtRecord([])
+
+    def test_empty_string_allowed(self):
+        assert TxtRecord("").text == ""
+
+
+class TestEquality:
+    def test_same_rdata_equal(self):
+        assert ARecord("1.2.3.4") == ARecord("1.2.3.4")
+        assert hash(ARecord("1.2.3.4")) == hash(ARecord("1.2.3.4"))
+
+    def test_name_case_ignored_in_target_types(self):
+        assert NsRecord("NS1.Example.COM") == NsRecord("ns1.example.com")
+        assert CnameRecord("A.B") == CnameRecord("a.b")
+        assert PtrRecord("P.Q") == PtrRecord("p.q")
+
+    def test_cross_type_not_equal(self):
+        assert ARecord("1.2.3.4") != TxtRecord("1.2.3.4")
+
+
+class TestResourceRecord:
+    def test_rdtype_delegates(self):
+        rr = ResourceRecord("example.com", 300, ARecord("1.2.3.4"))
+        assert rr.rdtype == RdataType.A
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceRecord("example.com", -1, ARecord("1.2.3.4"))
+
+    def test_to_text(self):
+        rr = ResourceRecord("example.com", 60, TxtRecord("hi"))
+        assert rr.to_text() == 'example.com. 60 IN TXT "hi"'
+
+    def test_equality(self):
+        a = ResourceRecord("x.com", 60, ARecord("1.1.1.1"))
+        b = ResourceRecord("X.COM", 60, ARecord("1.1.1.1"))
+        assert a == b
+
+
+class TestSoa:
+    def test_roundtrip_fields(self):
+        soa = SoaRecord("ns1.x.com", "hostmaster.x.com", serial=9, minimum=120)
+        assert soa.serial == 9
+        assert soa.minimum == 120
+        assert "ns1.x.com." in soa.to_text()
+
+
+def test_rdatatype_from_text():
+    assert RdataType.from_text("txt") is RdataType.TXT
+    assert RdataType.from_text("AAAA") is RdataType.AAAA
+    with pytest.raises(ValueError):
+        RdataType.from_text("BOGUS")

@@ -1,0 +1,193 @@
+"""Tests for the caching resolver: transports, fallback, cache, errors."""
+
+import pytest
+
+from repro.dns.rdata import (
+    AAAARecord,
+    ARecord,
+    CnameRecord,
+    RdataType,
+    TxtRecord,
+)
+from repro.dns.resolver import AnswerStatus, ResolverConfig
+from tests.helpers import AUTH_IP, AUTH_IP6, World
+
+
+@pytest.fixture
+def world():
+    world = World(seed=11)
+    zone = world.zone("example.com")
+    zone.add("example.com", TxtRecord("v=spf1 -all"))
+    zone.add("mail.example.com", ARecord("192.0.2.10"))
+    zone.add("mail.example.com", AAAARecord("2001:db8::10"))
+    zone.add("big.example.com", TxtRecord("t" * 700))
+    zone.add("alias.example.com", CnameRecord("mail.example.com"))
+    return world
+
+
+class TestBasics:
+    def test_positive_lookup(self, world):
+        answer, t = world.resolver().query_at("mail.example.com", RdataType.A, 0.0)
+        assert answer.status is AnswerStatus.SUCCESS
+        assert answer.addresses() == ["192.0.2.10"]
+        assert t > 0
+
+    def test_nxdomain(self, world):
+        answer, _ = world.resolver().query_at("nope.example.com", RdataType.A, 0.0)
+        assert answer.status is AnswerStatus.NXDOMAIN
+        assert answer.status.is_void
+
+    def test_nodata(self, world):
+        answer, _ = world.resolver().query_at("mail.example.com", RdataType.TXT, 0.0)
+        assert answer.status is AnswerStatus.NODATA
+        assert answer.status.is_void
+
+    def test_unknown_zone_unreachable(self, world):
+        answer, _ = world.resolver().query_at("nowhere.test", RdataType.A, 0.0)
+        assert answer.status is AnswerStatus.UNREACHABLE
+        assert answer.status.is_error
+
+    def test_txt_texts_helper(self, world):
+        answer, _ = world.resolver().query_at("example.com", RdataType.TXT, 0.0)
+        assert answer.texts() == ["v=spf1 -all"]
+
+    def test_cname_chase(self, world):
+        answer, _ = world.resolver().query_at("alias.example.com", RdataType.A, 0.0)
+        assert answer.status is AnswerStatus.SUCCESS
+        assert "192.0.2.10" in answer.addresses()
+
+    def test_resolve_addresses_both_families(self, world):
+        addresses, _ = world.resolver().resolve_addresses("mail.example.com", 0.0)
+        assert addresses == ["192.0.2.10", "2001:db8::10"]
+
+    def test_resolve_addresses_v4_only(self, world):
+        addresses, _ = world.resolver().resolve_addresses("mail.example.com", 0.0, want_ipv6=False)
+        assert addresses == ["192.0.2.10"]
+
+
+class TestCache:
+    def test_cache_hit_is_instant(self, world):
+        resolver = world.resolver()
+        first, t1 = resolver.query_at("mail.example.com", RdataType.A, 0.0)
+        second, t2 = resolver.query_at("mail.example.com", RdataType.A, t1)
+        assert not first.from_cache
+        assert second.from_cache
+        assert t2 == t1
+        assert second.addresses() == first.addresses()
+
+    def test_cache_respects_ttl(self, world):
+        resolver = world.resolver()
+        answer, t1 = resolver.query_at("mail.example.com", RdataType.A, 0.0)
+        later = t1 + answer.min_ttl + 1
+        again, t2 = resolver.query_at("mail.example.com", RdataType.A, later)
+        assert not again.from_cache
+        assert t2 > later
+
+    def test_negative_answers_cached(self, world):
+        resolver = world.resolver()
+        _, t1 = resolver.query_at("nope.example.com", RdataType.A, 0.0)
+        again, t2 = resolver.query_at("nope.example.com", RdataType.A, t1)
+        assert again.from_cache
+        assert again.status is AnswerStatus.NXDOMAIN
+
+    def test_cache_disabled(self, world):
+        resolver = world.resolver(ResolverConfig(use_cache=False))
+        _, t1 = resolver.query_at("mail.example.com", RdataType.A, 0.0)
+        again, t2 = resolver.query_at("mail.example.com", RdataType.A, t1)
+        assert not again.from_cache
+        assert t2 > t1
+
+    def test_each_query_logged_once_with_cache(self, world):
+        resolver = world.resolver()
+        _, t = resolver.query_at("mail.example.com", RdataType.A, 0.0)
+        resolver.query_at("mail.example.com", RdataType.A, t)
+        log = world.server.queries_under("mail.example.com")
+        assert len(log) == 1
+
+
+class TestTcpFallback:
+    def test_truncated_response_retried_over_tcp(self, world):
+        """A classic (non-EDNS) resolver hits the 512-octet ceiling."""
+        resolver = world.resolver(ResolverConfig(edns_payload=None))
+        answer, _ = resolver.query_at("big.example.com", RdataType.TXT, 0.0)
+        assert answer.status is AnswerStatus.SUCCESS
+        assert answer.transport == "tcp"
+        transports = [e.transport for e in world.server.queries_under("big.example.com")]
+        assert transports == ["udp", "tcp"]
+
+    def test_no_tcp_fallback_fails(self, world):
+        resolver = world.resolver(ResolverConfig(tcp_fallback=False, edns_payload=None))
+        answer, _ = resolver.query_at("big.example.com", RdataType.TXT, 0.0)
+        assert answer.status is AnswerStatus.SERVFAIL
+        transports = [e.transport for e in world.server.queries_under("big.example.com")]
+        assert transports == ["udp"]
+
+
+class TestEdns:
+    def test_edns_avoids_truncation_for_midsize_answers(self, world):
+        """A 700-octet TXT fits a 1232-octet EDNS payload over UDP."""
+        answer, _ = world.resolver().query_at("big.example.com", RdataType.TXT, 0.0)
+        assert answer.status is AnswerStatus.SUCCESS
+        assert answer.transport == "udp"
+
+    def test_huge_answer_still_truncates_with_edns(self, world):
+        world.server.zones[0].add("huge.example.com", TxtRecord("h" * 1500))
+        answer, _ = world.resolver().query_at("huge.example.com", RdataType.TXT, 0.0)
+        assert answer.status is AnswerStatus.SUCCESS
+        assert answer.transport == "tcp"
+
+    def test_server_caps_advertised_payload(self, world):
+        world.server.max_udp_payload = 512
+        answer, _ = world.resolver().query_at("big.example.com", RdataType.TXT, 0.0)
+        assert answer.transport == "tcp"  # server refuses to go past 512
+
+    def test_small_advertisement_honoured(self, world):
+        resolver = world.resolver(ResolverConfig(edns_payload=600))
+        answer, _ = resolver.query_at("big.example.com", RdataType.TXT, 0.0)
+        assert answer.transport == "tcp"  # 700-octet answer > 600 advertised
+
+
+class TestTransportSelection:
+    def test_prefers_ipv4_by_default(self, world):
+        resolver = world.resolver(address4="203.0.113.40", address6="2001:db8:c::40")
+        resolver.query_at("mail.example.com", RdataType.A, 0.0)
+        assert world.server.query_log[-1].client_ip == "203.0.113.40"
+
+    def test_prefer_ipv6(self, world):
+        config = ResolverConfig(prefer_ipv6=True)
+        resolver = world.resolver(config, address4="203.0.113.40", address6="2001:db8:c::40")
+        resolver.query_at("mail.example.com", RdataType.A, 0.0)
+        assert world.server.query_log[-1].client_ip == "2001:db8:c::40"
+
+    def test_ipv6_only_zone_needs_ipv6_capability(self, world):
+        zone = world.zone("v6only.test", register=False)
+        zone.add("v6only.test", TxtRecord("v=spf1 -all"))
+        world.directory.register("v6only.test", AUTH_IP6)
+
+        v4_resolver = world.resolver(ResolverConfig(ipv6_capable=False))
+        answer, _ = v4_resolver.query_at("v6only.test", RdataType.TXT, 0.0)
+        assert answer.status is AnswerStatus.UNREACHABLE
+
+        dual = world.resolver(address4="203.0.113.41", address6="2001:db8:c::41")
+        answer, _ = dual.query_at("v6only.test", RdataType.TXT, 0.0)
+        assert answer.status is AnswerStatus.SUCCESS
+
+    def test_requires_an_address(self, world):
+        with pytest.raises(ValueError):
+            world.resolver(address4=None, address6=None)
+
+
+class TestTimeout:
+    def test_slow_server_times_out(self, world):
+        world.server.response_delay = lambda name, rdtype: 9.0
+        resolver = world.resolver(ResolverConfig(timeout=5.0))
+        answer, t = resolver.query_at("mail.example.com", RdataType.A, 0.0)
+        assert answer.status in (AnswerStatus.TIMEOUT, AnswerStatus.UNREACHABLE)
+        assert answer.status.is_error
+        assert t >= 5.0
+
+    def test_fast_server_within_timeout(self, world):
+        world.server.response_delay = lambda name, rdtype: 0.8
+        resolver = world.resolver(ResolverConfig(timeout=5.0))
+        answer, _ = resolver.query_at("mail.example.com", RdataType.A, 0.0)
+        assert answer.status is AnswerStatus.SUCCESS

@@ -1,0 +1,131 @@
+"""Edge-case resolver tests: 0x20, CNAME loops, spoofed replies, cache
+eviction."""
+
+import pytest
+
+from repro.dns import wire
+from repro.dns.cache import TtlCache
+from repro.dns.name import Name
+from repro.dns.rdata import ARecord, CnameRecord, RdataType, TxtRecord
+from repro.dns.resolver import AnswerStatus, ResolverConfig
+from tests.helpers import World
+
+
+class Test0x20:
+    @pytest.fixture
+    def world(self):
+        world = World(seed=131)
+        zone = world.zone("case.example")
+        zone.add("host.case.example", ARecord("192.0.2.30"))
+        return world
+
+    def test_queries_carry_mixed_case(self, world):
+        resolver = world.resolver(ResolverConfig(use_0x20=True))
+        answer, _ = resolver.query_at("host.case.example", RdataType.A, 0.0)
+        assert answer.status is AnswerStatus.SUCCESS
+        logged = str(world.server.query_log[-1].qname)
+        assert logged.lower() == "host.case.example."
+        assert any(char.isupper() for char in logged)
+
+    def test_honest_server_passes_validation(self, world):
+        resolver = world.resolver(ResolverConfig(use_0x20=True))
+        answer, _ = resolver.query_at("host.case.example", RdataType.A, 0.0)
+        assert answer.addresses() == ["192.0.2.30"]
+
+    def test_case_mangling_server_rejected(self, world):
+        """A server that rewrites the question's case looks like a spoofer
+        and its answers are discarded."""
+        original = world.server.resolve
+
+        def mangler(query, transport, client_ip, t):
+            response = original(query, transport, client_ip, t)
+            response.question = [
+                type(q)(Name(str(q.name).lower()), q.rdtype, q.rdclass) for q in response.question
+            ]
+            return response
+
+        world.server.resolve = mangler
+        resolver = world.resolver(ResolverConfig(use_0x20=True))
+        answer, _ = resolver.query_at("host.case.example", RdataType.A, 0.0)
+        assert answer.status.is_error
+
+    def test_mangling_harmless_without_0x20(self, world):
+        resolver = world.resolver(ResolverConfig(use_0x20=False))
+        answer, _ = resolver.query_at("HOST.case.example", RdataType.A, 0.0)
+        assert answer.status is AnswerStatus.SUCCESS
+
+
+class TestCnameLoops:
+    def test_cross_name_cname_loop_terminates(self):
+        world = World(seed=132)
+        zone = world.zone("loop.example")
+        zone.add("a.loop.example", CnameRecord("b.loop.example"))
+        zone.add("b.loop.example", CnameRecord("a.loop.example"))
+        resolver = world.resolver()
+        answer, _ = resolver.query_at("a.loop.example", RdataType.A, 0.0)
+        # Terminates (no infinite loop) with a non-success outcome.
+        assert answer.status is not AnswerStatus.SUCCESS
+
+    def test_long_but_finite_chain_followed(self):
+        world = World(seed=133)
+        zone = world.zone("chain.example")
+        for index in range(5):
+            zone.add("c%d.chain.example" % index, CnameRecord("c%d.chain.example" % (index + 1)))
+        zone.add("c5.chain.example", ARecord("192.0.2.55"))
+        answer, _ = world.resolver().query_at("c0.chain.example", RdataType.A, 0.0)
+        assert answer.status is AnswerStatus.SUCCESS
+        assert "192.0.2.55" in answer.addresses()
+
+
+class TestSpoofResistance:
+    def test_mismatched_txid_discarded(self):
+        world = World(seed=134)
+        zone = world.zone("txid.example")
+        zone.add("txid.example", TxtRecord("real answer"))
+        original = world.server.udp_handler
+
+        def wrong_id(payload, client_ip, transport, t):
+            reply, delay = original(payload, client_ip, transport, t)
+            parsed = wire.from_wire(reply)
+            parsed.msg_id = (parsed.msg_id + 1) & 0xFFFF
+            return wire.to_wire(parsed), delay
+
+        world.network.unlisten_udp("198.51.100.53", 53)
+        world.network.listen_udp("198.51.100.53", 53, wrong_id)
+        resolver = world.resolver()
+        answer, _ = resolver.query_at("txid.example", RdataType.TXT, 0.0)
+        assert answer.status.is_error
+
+
+class TestCacheEviction:
+    def test_capacity_bound_respected(self):
+        cache = TtlCache(max_entries=10)
+        for index in range(50):
+            cache.put(Name("n%d.test" % index), RdataType.A, index, ttl=1000.0, now=float(index))
+        assert len(cache) <= 10
+
+    def test_expired_entries_evicted_first(self):
+        cache = TtlCache(max_entries=5)
+        # Two entries that expire immediately...
+        cache.put(Name("old1.test"), RdataType.A, "x", ttl=1.0, now=0.0)
+        cache.put(Name("old2.test"), RdataType.A, "x", ttl=1.0, now=0.0)
+        # ...then fill past capacity at t=100.
+        for index in range(5):
+            cache.put(Name("new%d.test" % index), RdataType.A, index, ttl=1000.0, now=100.0)
+        assert cache.get(Name("old1.test"), RdataType.A, 100.0) is None
+        survivors = sum(
+            1 for index in range(5)
+            if cache.get(Name("new%d.test" % index), RdataType.A, 100.0) is not None
+        )
+        assert survivors >= 4
+
+    def test_hit_miss_counters(self):
+        cache = TtlCache()
+        name = Name("counted.test")
+        assert cache.get(name, RdataType.A, 0.0) is None
+        cache.put(name, RdataType.A, "v", ttl=10.0, now=0.0)
+        assert cache.get(name, RdataType.A, 1.0) == "v"
+        assert cache.hits == 1
+        assert cache.misses == 1
+        cache.flush()
+        assert len(cache) == 0

@@ -1,0 +1,196 @@
+"""Tests for the DNS wire codec, including property-based roundtrips."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dns import wire
+from repro.dns.errors import WireError
+from repro.dns.message import Flags, Message, Question
+from repro.dns.name import Name
+from repro.dns.rdata import (
+    AAAARecord,
+    ARecord,
+    CnameRecord,
+    MxRecord,
+    NsRecord,
+    PtrRecord,
+    Rcode,
+    RdataType,
+    ResourceRecord,
+    SoaRecord,
+    TxtRecord,
+)
+
+
+def _roundtrip(message: Message) -> Message:
+    return wire.from_wire(wire.to_wire(message))
+
+
+class TestHeader:
+    def test_query_roundtrip(self):
+        query = Message.make_query("example.com", RdataType.TXT, msg_id=1234)
+        parsed = _roundtrip(query)
+        assert parsed.msg_id == 1234
+        assert not parsed.flags.qr
+        assert parsed.flags.rd
+        assert parsed.qname == Name("example.com")
+        assert parsed.qtype == RdataType.TXT
+
+    def test_flags_roundtrip_all_bits(self):
+        flags = Flags(qr=True, aa=True, tc=True, rd=False, ra=True, rcode=Rcode.NXDOMAIN)
+        assert Flags.from_int(flags.to_int()) == flags
+
+    def test_response_keeps_question(self):
+        query = Message.make_query("a.b", RdataType.A, msg_id=7)
+        response = query.make_response()
+        assert response.msg_id == 7
+        assert response.flags.qr
+        assert response.qname == Name("a.b")
+
+
+class TestRdataRoundtrip:
+    @pytest.mark.parametrize(
+        "rdata",
+        [
+            ARecord("192.0.2.45"),
+            AAAARecord("2001:db8::beef"),
+            NsRecord("ns1.example.com"),
+            CnameRecord("target.example.net"),
+            PtrRecord("host.example.org"),
+            MxRecord(20, "mx2.example.com"),
+            TxtRecord("v=spf1 include:x.example -all"),
+            TxtRecord(["first", "second", ""]),
+            TxtRecord("q" * 700),
+            SoaRecord("ns1.e.com", "host.e.com", 3, 1, 2, 4, 60),
+        ],
+        ids=lambda r: type(r).__name__ + ":" + r.to_text()[:24],
+    )
+    def test_single_record(self, rdata):
+        message = Message.make_query("owner.example.com", rdata.rdtype)
+        message.flags.qr = True
+        message.answer.append(ResourceRecord("owner.example.com", 300, rdata))
+        parsed = _roundtrip(message)
+        assert parsed.answer[0].rdata == rdata
+        assert parsed.answer[0].ttl == 300
+
+    def test_all_sections(self):
+        message = Message.make_query("example.com", RdataType.MX)
+        message.flags.qr = True
+        message.answer.append(ResourceRecord("example.com", 60, MxRecord(10, "mx.example.com")))
+        message.authority.append(ResourceRecord("example.com", 60, NsRecord("ns.example.com")))
+        message.additional.append(ResourceRecord("mx.example.com", 60, ARecord("1.2.3.4")))
+        parsed = _roundtrip(message)
+        assert len(parsed.answer) == 1
+        assert len(parsed.authority) == 1
+        assert len(parsed.additional) == 1
+
+
+class TestCompression:
+    def test_compression_shrinks_repeated_names(self):
+        message = Message.make_query("very-long-label.example.com", RdataType.A)
+        message.flags.qr = True
+        for index in range(5):
+            message.answer.append(
+                ResourceRecord("very-long-label.example.com", 60, ARecord("10.0.0.%d" % index))
+            )
+        compressed = wire.to_wire(message)
+        # The owner name is 29 octets on the wire; each repeated owner
+        # should collapse to a 2-octet pointer.  Per-record fixed overhead
+        # is 10 octets (type/class/ttl/rdlength) plus 4 octets of A rdata.
+        assert len(compressed) == 12 + (29 + 4) + 5 * (2 + 10 + 4)
+
+    def test_compressed_names_decode_correctly(self):
+        message = Message.make_query("a.example.com", RdataType.NS)
+        message.flags.qr = True
+        message.answer.append(ResourceRecord("a.example.com", 60, NsRecord("ns.a.example.com")))
+        message.answer.append(ResourceRecord("a.example.com", 60, NsRecord("ns2.a.example.com")))
+        parsed = _roundtrip(message)
+        assert parsed.answer[0].rdata.target == Name("ns.a.example.com")
+        assert parsed.answer[1].rdata.target == Name("ns2.a.example.com")
+
+    def test_self_referential_pointer_rejected(self):
+        # Header with qdcount=1, then a name that is a pointer to itself
+        # (offset 12).  Chasing it must be rejected, not loop forever.
+        header = bytes(4) + (1).to_bytes(2, "big") + bytes(6)
+        with pytest.raises(WireError):
+            wire.from_wire(header + b"\xc0\x0c" + bytes(4))
+
+
+class TestMalformed:
+    def test_truncated_buffer(self):
+        good = wire.to_wire(Message.make_query("example.com", RdataType.A))
+        with pytest.raises(WireError):
+            wire.from_wire(good[:-3])
+
+    def test_empty_buffer(self):
+        with pytest.raises(WireError):
+            wire.from_wire(b"")
+
+    def test_bad_rdlength(self):
+        message = Message.make_query("e.com", RdataType.A)
+        message.flags.qr = True
+        message.answer.append(ResourceRecord("e.com", 60, ARecord("1.2.3.4")))
+        raw = bytearray(wire.to_wire(message))
+        raw[-5] = 9  # corrupt RDLENGTH of the A record (should be 4)
+        with pytest.raises(WireError):
+            wire.from_wire(bytes(raw))
+
+
+class TestUdpTruncation:
+    def test_small_message_not_truncated(self):
+        message = Message.make_query("e.com", RdataType.TXT)
+        payload, truncated = wire.truncate_for_udp(message)
+        assert not truncated
+
+    def test_large_message_truncated(self):
+        message = Message.make_query("e.com", RdataType.TXT)
+        message.flags.qr = True
+        message.answer.append(ResourceRecord("e.com", 60, TxtRecord("z" * 900)))
+        payload, truncated = wire.truncate_for_udp(message)
+        assert truncated
+        parsed = wire.from_wire(payload)
+        assert parsed.flags.tc
+        assert not parsed.answer
+        assert parsed.qname == Name("e.com")
+
+    def test_custom_limit(self):
+        message = Message.make_query("e.com", RdataType.TXT)
+        message.flags.qr = True
+        message.answer.append(ResourceRecord("e.com", 60, TxtRecord("z" * 100)))
+        _, truncated = wire.truncate_for_udp(message, limit=64)
+        assert truncated
+
+
+_label = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=15)
+_name = st.lists(_label, min_size=1, max_size=5).map(Name)
+_ttl = st.integers(min_value=0, max_value=2**31 - 1)
+
+_rdata = st.one_of(
+    st.builds(ARecord, st.integers(0, 2**32 - 1).map(lambda n: str((n >> 24) % 256) + ".%d.%d.%d" % ((n >> 16) % 256, (n >> 8) % 256, n % 256))),
+    st.builds(lambda n: AAAARecord("2001:db8::%x" % n), st.integers(0, 0xFFFF)),
+    st.builds(MxRecord, st.integers(0, 65535), _name),
+    st.builds(NsRecord, _name),
+    st.builds(CnameRecord, _name),
+    st.builds(TxtRecord, st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), min_size=0, max_size=300)),
+)
+
+
+@given(
+    qname=_name,
+    records=st.lists(st.tuples(_name, _ttl, _rdata), min_size=0, max_size=6),
+    msg_id=st.integers(0, 0xFFFF),
+)
+def test_arbitrary_message_roundtrip(qname, records, msg_id):
+    message = Message.make_query(qname, RdataType.TXT, msg_id=msg_id)
+    message.flags.qr = True
+    for owner, ttl, rdata in records:
+        message.answer.append(ResourceRecord(owner, ttl, rdata))
+    parsed = _roundtrip(message)
+    assert parsed.msg_id == msg_id
+    assert parsed.qname == qname
+    assert len(parsed.answer) == len(records)
+    for parsed_rr, (owner, ttl, rdata) in zip(parsed.answer, records):
+        assert parsed_rr.name == owner
+        assert parsed_rr.ttl == ttl
+        assert parsed_rr.rdata == rdata

@@ -1,0 +1,163 @@
+"""Tests for zone storage and the authoritative server."""
+
+import pytest
+
+from repro.dns import wire
+from repro.dns.message import Message
+from repro.dns.name import Name
+from repro.dns.rdata import (
+    ARecord,
+    CnameRecord,
+    MxRecord,
+    Rcode,
+    RdataType,
+    SoaRecord,
+    TxtRecord,
+)
+from repro.dns.server import AuthoritativeServer
+from repro.dns.zone import LookupStatus, Zone
+
+
+@pytest.fixture
+def zone():
+    zone = Zone("example.com", soa=SoaRecord("ns1.example.com", "hostmaster.example.com"))
+    zone.add("example.com", TxtRecord("v=spf1 -all"))
+    zone.add("mail.example.com", ARecord("192.0.2.1"))
+    zone.add("deep.a.b.example.com", ARecord("192.0.2.2"))
+    zone.add("alias.example.com", CnameRecord("mail.example.com"))
+    return zone
+
+
+class TestZone:
+    def test_success(self, zone):
+        status, records = zone.lookup("mail.example.com", RdataType.A)
+        assert status is LookupStatus.SUCCESS
+        assert records[0].rdata.address == "192.0.2.1"
+
+    def test_nodata_on_existing_name(self, zone):
+        status, records = zone.lookup("mail.example.com", RdataType.TXT)
+        assert status is LookupStatus.NODATA
+        assert not records
+
+    def test_nxdomain(self, zone):
+        status, _ = zone.lookup("missing.example.com", RdataType.A)
+        assert status is LookupStatus.NXDOMAIN
+
+    def test_empty_non_terminal_is_nodata(self, zone):
+        # a.b.example.com has no records but deep.a.b.example.com does.
+        status, _ = zone.lookup("a.b.example.com", RdataType.A)
+        assert status is LookupStatus.NODATA
+
+    def test_cname_redirect_status(self, zone):
+        status, records = zone.lookup("alias.example.com", RdataType.A)
+        assert status is LookupStatus.CNAME
+        assert records[0].rdata.target == Name("mail.example.com")
+
+    def test_direct_cname_query(self, zone):
+        status, _ = zone.lookup("alias.example.com", RdataType.CNAME)
+        assert status is LookupStatus.SUCCESS
+
+    def test_out_of_zone_add_rejected(self, zone):
+        with pytest.raises(ValueError):
+            zone.add("other.org", ARecord("1.2.3.4"))
+
+    def test_out_of_zone_lookup_nxdomain(self, zone):
+        status, _ = zone.lookup("other.org", RdataType.A)
+        assert status is LookupStatus.NXDOMAIN
+
+    def test_remove(self, zone):
+        zone.remove("mail.example.com", RdataType.A)
+        status, _ = zone.lookup("mail.example.com", RdataType.A)
+        # Name node persists even after its last rrset is removed.
+        assert status is LookupStatus.NODATA
+
+    def test_record_count(self, zone):
+        assert zone.record_count() == 5  # SOA + 4 added
+
+
+def _ask(server, qname, qtype, transport="udp", client="203.0.113.9", t=1.0):
+    query = Message.make_query(qname, qtype, msg_id=42)
+    payload, delay = server._handle(wire.to_wire(query), client, transport, t)
+    return wire.from_wire(payload), delay
+
+
+class TestAuthoritativeServer:
+    @pytest.fixture
+    def server(self, zone):
+        return AuthoritativeServer([zone])
+
+    def test_positive_answer_is_authoritative(self, server):
+        response, _ = _ask(server, "mail.example.com", RdataType.A)
+        assert response.flags.aa
+        assert response.rcode is Rcode.NOERROR
+        assert response.answer[0].rdata.address == "192.0.2.1"
+
+    def test_nxdomain_carries_soa(self, server):
+        response, _ = _ask(server, "nope.example.com", RdataType.A)
+        assert response.rcode is Rcode.NXDOMAIN
+        assert response.authority[0].rdtype == RdataType.SOA
+
+    def test_nodata_carries_soa(self, server):
+        response, _ = _ask(server, "mail.example.com", RdataType.MX)
+        assert response.rcode is Rcode.NOERROR
+        assert not response.answer
+        assert response.authority[0].rdtype == RdataType.SOA
+
+    def test_cname_chased_in_zone(self, server):
+        response, _ = _ask(server, "alias.example.com", RdataType.A)
+        types = [rr.rdtype for rr in response.answer]
+        assert RdataType.CNAME in types and RdataType.A in types
+
+    def test_out_of_bailiwick_refused(self, server):
+        response, _ = _ask(server, "other.org", RdataType.A)
+        assert response.rcode is Rcode.REFUSED
+
+    def test_query_log_records_metadata(self, server):
+        _ask(server, "mail.example.com", RdataType.A, transport="tcp", client="2001:db8::9", t=7.5)
+        entry = server.query_log[-1]
+        assert entry.qname == Name("mail.example.com")
+        assert entry.qtype == RdataType.A
+        assert entry.transport == "tcp"
+        assert entry.timestamp == 7.5
+        assert entry.over_ipv6
+
+    def test_queries_under(self, server):
+        _ask(server, "mail.example.com", RdataType.A)
+        _ask(server, "example.com", RdataType.TXT)
+        assert len(server.queries_under("example.com")) == 2
+        assert len(server.queries_under("mail.example.com")) == 1
+        server.clear_log()
+        assert not server.query_log
+
+    def test_response_delay_applied(self, zone):
+        server = AuthoritativeServer([zone], response_delay=lambda name, rdtype: 0.8)
+        _, delay = _ask(server, "mail.example.com", RdataType.A)
+        assert delay == pytest.approx(0.8)
+
+    def test_forced_truncation_udp_only(self, zone):
+        server = AuthoritativeServer([zone], force_tcp_for=lambda name: True)
+        response, _ = _ask(server, "mail.example.com", RdataType.A, transport="udp")
+        assert response.flags.tc and not response.answer
+        response, _ = _ask(server, "mail.example.com", RdataType.A, transport="tcp")
+        assert not response.flags.tc and response.answer
+
+    def test_oversize_txt_truncated_over_udp(self, zone):
+        zone.add("big.example.com", TxtRecord("b" * 800))
+        server = AuthoritativeServer([zone])
+        response, _ = _ask(server, "big.example.com", RdataType.TXT, transport="udp")
+        assert response.flags.tc
+        response, _ = _ask(server, "big.example.com", RdataType.TXT, transport="tcp")
+        assert not response.flags.tc
+        assert response.answer
+
+    def test_garbage_query_answered_formerr(self, server):
+        payload, _ = server._handle(b"\x00\x01nonsense", "1.2.3.4", "udp", 0.0)
+        response = wire.from_wire(payload)
+        assert response.rcode is Rcode.FORMERR
+
+    def test_most_specific_zone_wins(self, zone):
+        child = Zone("sub.example.com", soa=SoaRecord("ns1.sub.example.com", "h.sub.example.com"))
+        child.add("www.sub.example.com", ARecord("10.0.0.1"))
+        server = AuthoritativeServer([zone, child])
+        response, _ = _ask(server, "www.sub.example.com", RdataType.A)
+        assert response.answer[0].rdata.address == "10.0.0.1"

@@ -1,0 +1,109 @@
+"""Whole-system integration: all three campaigns on one world, with the
+global invariants the methodology promises."""
+
+import pytest
+
+from repro.core import analysis as A
+from repro.core.campaign import (
+    NotifyEmailCampaign,
+    ProbeCampaign,
+    Testbed,
+    apply_reputation_effects,
+)
+from repro.core.datasets import DatasetSpec, generate_universe
+from repro.core.fingerprint import fingerprint_fleet
+from repro.core.policies import POLICIES
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    universe = generate_universe(DatasetSpec.notify_email(scale=0.005), seed=501)
+    testbed = Testbed(universe, seed=502)
+    notify = NotifyEmailCampaign(testbed).run()
+    apply_reputation_effects(universe, seed=503)
+    probe = ProbeCampaign(testbed, "NotifyMX", start_time=5e6).run()
+    return universe, testbed, notify, probe
+
+
+class TestNoDeliveryGuarantee:
+    def test_probes_never_deliver(self, pipeline):
+        universe, testbed, notify, probe = pipeline
+        # Every delivery in every receiving MTA came from the NotifyEmail
+        # campaign; the probe's ~5,000 conversations added none.
+        total_deliveries = sum(len(r.deliveries) for r in testbed.receivers.values())
+        assert total_deliveries == len(notify.accepted)
+
+    def test_probe_conversations_cover_every_policy(self, pipeline):
+        _, _, _, probe = pipeline
+        testids = {result.testid for result in probe.results}
+        assert testids == {policy.testid for policy in POLICIES}
+
+
+class TestEvidenceConsistency:
+    def test_every_observed_mta_was_probed_or_mailed(self, pipeline):
+        universe, testbed, notify, probe = pipeline
+        observed = probe.index.mtas_observed()
+        probe_ids = set(probe.probed)
+        notify_ids = {d.domain.domainid for d in notify.deliveries}
+        for mtaid in observed:
+            assert mtaid in probe_ids or mtaid in notify_ids
+
+    def test_query_log_attribution_is_total_for_suffix_queries(self, pipeline):
+        universe, testbed, _, _ = pipeline
+        from repro.core.querylog import attribute_queries
+
+        raw = testbed.synth.query_log
+        attributed = attribute_queries(raw, testbed.synth_config)
+        # Everything the synthesizing server logs is attributable (its
+        # suffixes are the only names it serves).
+        assert len(attributed) >= 0.98 * len(raw)
+
+    def test_white_box_agrees_with_black_box(self, pipeline):
+        """The receivers' own validation records must agree with what the
+        query log says about them — the harness's core soundness check."""
+        universe, testbed, notify, probe = pipeline
+        observed = probe.index.mtas_observed()
+        for mtaid, receiver in testbed.receivers.items():
+            if mtaid not in probe.probed:
+                continue
+            # Count SPF validations this receiver ran against probe
+            # From-domains (not NotifyEmail ones).
+            ran_spf = any(
+                v.kind in ("spf", "helo-spf") and "spf-test" in str(v.domain)
+                for v in receiver.validations
+            )
+            if mtaid in observed:
+                assert ran_spf, "%s observed in DNS but never validated" % mtaid
+
+    def test_validation_timestamps_inside_probe_windows(self, pipeline):
+        _, testbed, _, probe = pipeline
+        windows = {}
+        for result in probe.results:
+            window = windows.setdefault(result.mtaid, [float("inf"), 0.0])
+            window[0] = min(window[0], result.t_started)
+            window[1] = max(window[1], result.t_finished)
+        for query in probe.index.queries:
+            if query.mtaid in windows:
+                start, end = windows[query.mtaid]
+                assert start - 1.0 <= query.timestamp <= end + 1.0
+
+
+class TestDownstreamAnalyses:
+    def test_all_analyses_run_on_shared_world(self, pipeline):
+        universe, _, notify, probe = pipeline
+        analysis = A.analyze_notify(notify)
+        A.validation_breakdown_table(analysis)
+        A.timing_analysis(notify)
+        A.behavior_stats(probe)
+        A.lookup_limit_analysis(probe)
+        A.rejection_stats(probe)
+        A.consistency_stats(universe, analysis, probe)
+        report = fingerprint_fleet(probe)
+        assert report.total_mtas > 0
+
+    def test_notify_and_probe_rates_ordered(self, pipeline):
+        universe, _, notify, probe = pipeline
+        analysis = A.analyze_notify(notify)
+        notify_rate = len(analysis.validating("spf")) / analysis.total
+        row = A.probe_spf_row("NotifyMX", universe, probe)
+        assert notify_rate > row.validating_domains / row.total_domains

@@ -1,0 +1,128 @@
+"""Tests for Authentication-Results headers (RFC 8601) and their stamping."""
+
+import pytest
+
+from repro.dkim import DkimSigner, KeyRecord, generate_keypair
+from repro.dns.rdata import TxtRecord
+from repro.mta.authres import AuthenticationResults, MethodResult
+from repro.mta.behavior import MtaBehavior
+from repro.mta.receiver import ReceivingMta
+from repro.smtp.client import SmtpClient
+from repro.smtp.message import EmailMessage
+from tests.helpers import World
+
+KEYPAIR = generate_keypair(1024, seed=91)
+
+
+class TestSerialisation:
+    def test_minimal(self):
+        results = AuthenticationResults("mx.example.com")
+        assert results.to_header_value() == "mx.example.com; none"
+
+    def test_full_roundtrip(self):
+        results = AuthenticationResults("mx.example.com")
+        results.add("spf", "pass", mailfrom="a@b.example")
+        results.add("dkim", "fail", d="b.example")
+        entry = results.add("dmarc", "pass")
+        entry.add_property("header", "from", "b.example")
+        text = results.to_header_value()
+        parsed = AuthenticationResults.from_header_value(text)
+        assert parsed.authserv_id == "mx.example.com"
+        assert parsed.result_for("spf").result == "pass"
+        assert ("smtp", "mailfrom", "a@b.example") in parsed.result_for("spf").properties
+        assert parsed.result_for("dkim").result == "fail"
+        assert ("header", "from", "b.example") in parsed.result_for("dmarc").properties
+
+    def test_reason_quoted(self):
+        entry = MethodResult("dmarc", "fail", reason='policy "reject"')
+        assert 'reason="policy \'reject\'"' in entry.to_text()
+
+    def test_reason_roundtrip(self):
+        results = AuthenticationResults("mx.test")
+        results.results.append(MethodResult("spf", "fail", reason="not authorized"))
+        parsed = AuthenticationResults.from_header_value(results.to_header_value())
+        assert parsed.result_for("spf").reason == "not authorized"
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            AuthenticationResults.from_header_value("")
+        with pytest.raises(ValueError):
+            AuthenticationResults.from_header_value("mx.test; !!!garbage!!!")
+
+    def test_result_for_missing(self):
+        assert AuthenticationResults("x").result_for("spf") is None
+
+
+class TestStamping:
+    MTA_IP = "198.51.100.80"
+    CLIENT_IP = "203.0.113.80"
+
+    @pytest.fixture
+    def world(self):
+        world = World(seed=93)
+        zone = world.zone("sender.example")
+        zone.add("sender.example", TxtRecord("v=spf1 ip4:%s -all" % self.CLIENT_IP))
+        zone.add(
+            "sel._domainkey.sender.example",
+            TxtRecord(KeyRecord(public_key_b64=KEYPAIR.public.to_base64()).to_text()),
+        )
+        zone.add("_dmarc.sender.example", TxtRecord("v=DMARC1; p=quarantine"))
+        world.network.add_address(self.CLIENT_IP)
+        return world
+
+    def _deliver(self, world, behavior):
+        mta = ReceivingMta(
+            "mx.rcpt.example", world.network, world.directory, behavior, ipv4=self.MTA_IP
+        )
+        mta.attach()
+        message = EmailMessage(
+            [("From", "a@sender.example"), ("To", "b@rcpt.example"), ("Subject", "s"),
+             ("Date", "d"), ("Message-ID", "<1@s>")],
+            "hello\r\n",
+        )
+        DkimSigner("sender.example", "sel", KEYPAIR.private).sign(message)
+        client, t = SmtpClient.connect(world.network, self.CLIENT_IP, self.MTA_IP, 0.0)
+        _, t = client.ehlo("c.sender.example", t)
+        _, t = client.mail("a@sender.example", t)
+        _, t = client.rcpt("b@rcpt.example", t)
+        _, t = client.data_command(t)
+        reply, t = client.send_message(message, t)
+        client.abort(t)
+        assert reply.code == 250
+        return mta.deliveries[0].message
+
+    def test_full_validator_stamps_all_three(self, world):
+        delivered = self._deliver(world, MtaBehavior(accepts_any_recipient=True))
+        value = delivered.get_header("Authentication-Results")
+        assert value is not None
+        parsed = AuthenticationResults.from_header_value(value)
+        assert parsed.authserv_id == "mx.rcpt.example"
+        assert parsed.result_for("spf").result == "pass"
+        assert parsed.result_for("dkim").result == "pass"
+        assert parsed.result_for("dmarc").result == "pass"
+
+    def test_header_is_topmost(self, world):
+        delivered = self._deliver(world, MtaBehavior(accepts_any_recipient=True))
+        assert delivered.headers[0][0] == "Authentication-Results"
+
+    def test_non_validator_stamps_nothing(self, world):
+        behavior = MtaBehavior(
+            accepts_any_recipient=True,
+            validates_spf=False,
+            validates_dkim=False,
+            validates_dmarc=False,
+        )
+        delivered = self._deliver(world, behavior)
+        assert delivered.get_header("Authentication-Results") is None
+
+    def test_spf_only_validator(self, world):
+        behavior = MtaBehavior(
+            accepts_any_recipient=True, validates_dkim=False, validates_dmarc=False
+        )
+        delivered = self._deliver(world, behavior)
+        parsed = AuthenticationResults.from_header_value(
+            delivered.get_header("Authentication-Results")
+        )
+        assert parsed.result_for("spf") is not None
+        assert parsed.result_for("dkim") is None
+        assert parsed.result_for("dmarc") is None

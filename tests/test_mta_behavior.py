@@ -1,0 +1,63 @@
+"""Tests for MTA behaviour profiles and their config derivation."""
+
+from repro.mta.behavior import MtaBehavior, SpfTrigger
+
+
+class TestDefaults:
+    def test_default_is_full_strict_validator(self):
+        behavior = MtaBehavior()
+        assert behavior.validates_spf and behavior.validates_dkim and behavior.validates_dmarc
+        assert behavior.spf_trigger is SpfTrigger.ON_MAIL
+        assert not behavior.spf_fetch_only
+        assert behavior.blacklist_rejection is None
+
+    def test_validates_anything(self):
+        assert MtaBehavior().validates_anything
+        silent = MtaBehavior(validates_spf=False, validates_dkim=False, validates_dmarc=False)
+        assert not silent.validates_anything
+
+
+class TestSpfConfigDerivation:
+    def test_strict_defaults(self):
+        config = MtaBehavior().spf_config()
+        assert config.max_dns_mechanisms == 10
+        assert config.max_void_lookups == 2
+        assert config.max_mx_addresses == 10
+        assert not config.tolerant_syntax
+        assert not config.parallel_lookups
+        assert config.on_multiple_records == "permerror"
+
+    def test_deviations_flow_through(self):
+        behavior = MtaBehavior(
+            spf_max_dns_mechanisms=None,
+            spf_max_void_lookups=None,
+            spf_tolerant_syntax=True,
+            spf_ignore_child_permerror=True,
+            spf_parallel_lookups=True,
+            spf_mx_a_fallback=True,
+            spf_on_multiple_records="first",
+            spf_timeout=20.0,
+            spf_fetch_only=True,
+        )
+        config = behavior.spf_config()
+        assert config.max_dns_mechanisms is None
+        assert config.max_void_lookups is None
+        assert config.tolerant_syntax
+        assert config.ignore_child_permerror
+        assert config.parallel_lookups
+        assert config.mx_a_fallback
+        assert config.on_multiple_records == "first"
+        assert config.overall_timeout == 20.0
+        assert config.fetch_only
+
+
+class TestResolverConfigDerivation:
+    def test_capabilities_flow_through(self):
+        behavior = MtaBehavior(
+            resolver_tcp_fallback=False,
+            resolver_ipv6_capable=False,
+            resolver_prefer_ipv6=False,
+        )
+        config = behavior.resolver_config()
+        assert not config.tcp_fallback
+        assert not config.ipv6_capable

@@ -1,0 +1,133 @@
+"""Statistical tests for the behaviour sampler (seeded, deterministic)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.mta.behavior import SpfTrigger
+from repro.mta.fleet import (
+    BehaviorDistribution,
+    NOTIFY_EMAIL_PROFILE,
+    NOTIFY_MX_PROFILE,
+    TABLE4_COMBO_WEIGHTS,
+    TWO_WEEK_MX_PROFILE,
+    sample_behavior,
+)
+
+N = 4000
+
+
+def _sample_many(profile, n=N, seed=9):
+    rng = random.Random(seed)
+    return [sample_behavior(rng, profile) for _ in range(n)]
+
+
+class TestDeterminism:
+    def test_same_seed_same_fleet(self):
+        a = _sample_many(NOTIFY_EMAIL_PROFILE, n=50, seed=3)
+        b = _sample_many(NOTIFY_EMAIL_PROFILE, n=50, seed=3)
+        assert [x.__dict__ for x in a] == [y.__dict__ for y in b]
+
+    def test_forced_combo(self):
+        rng = random.Random(1)
+        behavior = sample_behavior(rng, NOTIFY_EMAIL_PROFILE, combo=(False, True, False))
+        assert (behavior.validates_spf, behavior.validates_dkim, behavior.validates_dmarc) == (
+            False, True, False,
+        )
+
+
+class TestMarginals:
+    """Sampled fractions should sit near the configured probabilities."""
+
+    @pytest.fixture(scope="class")
+    def fleet(self):
+        return _sample_many(NOTIFY_EMAIL_PROFILE)
+
+    def _rate(self, fleet, predicate, subset=None):
+        pool = [b for b in fleet if subset(b)] if subset else fleet
+        return sum(1 for b in pool if predicate(b)) / len(pool)
+
+    def test_combo_distribution_matches_table4(self, fleet):
+        counts = Counter(
+            (b.validates_spf, b.validates_dkim, b.validates_dmarc) for b in fleet
+        )
+        total_weight = sum(TABLE4_COMBO_WEIGHTS.values())
+        for combo, weight in TABLE4_COMBO_WEIGHTS.items():
+            expected = weight / total_weight
+            assert abs(counts[combo] / N - expected) < 0.03
+
+    def test_spf_deviations_conditioned_on_validating(self, fleet):
+        validators = lambda b: b.validates_spf
+        assert abs(self._rate(fleet, lambda b: b.spf_parallel_lookups, validators) - 0.03) < 0.015
+        assert abs(self._rate(fleet, lambda b: b.checks_helo, validators) - 0.05) < 0.02
+        assert abs(self._rate(fleet, lambda b: b.spf_tolerant_syntax, validators) - 0.055) < 0.02
+        assert abs(self._rate(fleet, lambda b: b.spf_mx_a_fallback, validators) - 0.14) < 0.03
+
+    def test_non_validators_have_default_spf_knobs(self, fleet):
+        for behavior in fleet:
+            if not behavior.validates_spf:
+                assert behavior.spf_trigger is SpfTrigger.ON_MAIL
+                assert not behavior.spf_parallel_lookups
+
+    def test_post_delivery_fraction(self, fleet):
+        validators = [b for b in fleet if b.validates_spf]
+        fraction = sum(
+            1 for b in validators if b.spf_trigger is SpfTrigger.POST_DELIVERY
+        ) / len(validators)
+        assert abs(fraction - 0.17) < 0.03
+
+    def test_lookup_limit_modes(self, fleet):
+        validators = [b for b in fleet if b.validates_spf]
+        enforced = sum(1 for b in validators if b.spf_max_dns_mechanisms == 10) / len(validators)
+        unlimited_no_timeout = sum(
+            1 for b in validators if b.spf_max_dns_mechanisms is None and b.spf_timeout is None
+        ) / len(validators)
+        assert abs(enforced - 0.61) < 0.04
+        assert abs(unlimited_no_timeout - 0.28) < 0.04
+
+    def test_ipv6_resolver_fraction(self, fleet):
+        assert abs(self._rate(fleet, lambda b: b.resolver_ipv6_capable) - 0.49) < 0.03
+
+    def test_tcp_fallback_nearly_universal(self, fleet):
+        missing = sum(1 for b in fleet if not b.resolver_tcp_fallback)
+        assert missing < 0.01 * N
+
+    def test_child_permerror_never_combined_with_tolerant(self, fleet):
+        for behavior in fleet:
+            assert not (behavior.spf_tolerant_syntax and behavior.spf_ignore_child_permerror)
+
+    def test_acceptance_delays_sampled(self, fleet):
+        delays = [b.acceptance_delay for b in fleet]
+        assert min(delays) >= 0.2
+        assert max(delays) <= 240.0
+        under_five = sum(1 for d in delays if d < 5.0) / N
+        assert 0.40 < under_five < 0.70
+
+
+class TestProfiles:
+    def test_notify_mx_blacklisting(self):
+        fleet = _sample_many(NOTIFY_MX_PROFILE)
+        spam = sum(1 for b in fleet if b.blacklist_rejection == "spam") / N
+        bl = sum(1 for b in fleet if b.blacklist_rejection == "blacklist") / N
+        assert abs(spam - 0.27) < 0.03
+        assert abs(bl - 0.03) < 0.01
+
+    def test_notify_email_never_blacklists(self):
+        fleet = _sample_many(NOTIFY_EMAIL_PROFILE)
+        assert all(b.blacklist_rejection is None for b in fleet)
+
+    def test_two_week_mx_heavier_post_delivery(self):
+        fleet = _sample_many(TWO_WEEK_MX_PROFILE)
+        validators = [b for b in fleet if b.validates_spf]
+        fraction = sum(
+            1 for b in validators if b.spf_trigger is SpfTrigger.POST_DELIVERY
+        ) / len(validators)
+        assert fraction > 0.3
+
+
+def test_weights_must_be_positive():
+    from repro.mta.fleet import _weighted
+
+    with pytest.raises(ValueError):
+        _weighted(random.Random(0), [("a", 0.0)])

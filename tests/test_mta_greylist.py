@@ -1,0 +1,140 @@
+"""Tests for greylisting and sender retry behaviour."""
+
+import pytest
+
+from repro.dns.rdata import ARecord, MxRecord, TxtRecord
+from repro.mta.behavior import MtaBehavior, SpfTrigger
+from repro.mta.receiver import ReceivingMta
+from repro.mta.sender import SendingMta
+from repro.smtp.client import SmtpClient
+from repro.smtp.message import EmailMessage
+from tests.helpers import World
+
+MTA_IP = "198.51.100.85"
+CLIENT_IP = "203.0.113.85"
+
+
+@pytest.fixture
+def world():
+    world = World(seed=111)
+    zone = world.zone("sender.example")
+    zone.add("sender.example", TxtRecord("v=spf1 ip4:%s -all" % CLIENT_IP))
+    world.network.add_address(CLIENT_IP)
+    return world
+
+
+def _greylisting_mta(world, **kwargs):
+    behavior = MtaBehavior(
+        accepts_any_recipient=True,
+        greylists=True,
+        validates_dkim=False,
+        validates_dmarc=False,
+        **kwargs,
+    )
+    mta = ReceivingMta("mx.rcpt.example", world.network, world.directory, behavior, ipv4=MTA_IP)
+    mta.attach()
+    return mta
+
+
+def _rcpt_round(world, t, sender="a@sender.example", rcpt="b@rcpt.example"):
+    client, t = SmtpClient.connect(world.network, CLIENT_IP, MTA_IP, t)
+    _, t = client.ehlo("c.sender.example", t)
+    _, t = client.mail(sender, t)
+    reply, t = client.rcpt(rcpt, t)
+    client.abort(t)
+    return reply, t
+
+
+class TestGreylisting:
+    def test_first_contact_deferred(self, world):
+        _greylisting_mta(world)
+        reply, _ = _rcpt_round(world, 0.0)
+        assert reply.code == 451
+        assert "greylist" in reply.text.lower()
+
+    def test_retry_after_window_accepted(self, world):
+        _greylisting_mta(world)
+        _, t = _rcpt_round(world, 0.0)
+        reply, _ = _rcpt_round(world, t + 400.0)
+        assert reply.code == 250
+
+    def test_too_early_retry_still_deferred(self, world):
+        _greylisting_mta(world)
+        _, t = _rcpt_round(world, 0.0)
+        reply, _ = _rcpt_round(world, t + 30.0)
+        assert reply.code == 451
+
+    def test_greylist_keyed_per_triple(self, world):
+        _greylisting_mta(world)
+        _, t = _rcpt_round(world, 0.0, rcpt="one@rcpt.example")
+        reply, _ = _rcpt_round(world, t + 400.0, rcpt="two@rcpt.example")
+        assert reply.code == 451  # different recipient: new triple
+
+    def test_mail_time_spf_runs_before_greylist_rejection(self, world):
+        """The paper's outlier mechanism: the first (rejected) attempt
+        already triggers the SPF lookup."""
+        mta = _greylisting_mta(world, spf_trigger=SpfTrigger.ON_MAIL)
+        _rcpt_round(world, 0.0)
+        assert [v.kind for v in mta.validations] == ["spf"]
+        assert len(world.server.queries_under("sender.example")) >= 1
+
+
+class TestSenderRetry:
+    @pytest.fixture
+    def delivery_world(self, world):
+        zone = world.server.zones[0]  # sender.example zone holds rcpt MX too
+        rcpt_zone = world.zone("mail-rcpt.example")
+        rcpt_zone.add("mail-rcpt.example", MxRecord(10, "mx.mail-rcpt.example"))
+        rcpt_zone.add("mx.mail-rcpt.example", ARecord(MTA_IP))
+        return world
+
+    def _message(self):
+        return EmailMessage(
+            [("From", "a@sender.example"), ("To", "b@mail-rcpt.example"), ("Subject", "s")],
+            "body\r\n",
+        )
+
+    def test_retry_defeats_greylisting(self, delivery_world):
+        world = delivery_world
+        mta = ReceivingMta(
+            "mx.mail-rcpt.example", world.network, world.directory,
+            MtaBehavior(accepts_any_recipient=True, greylists=True,
+                        validates_dkim=False, validates_dmarc=False),
+            ipv4=MTA_IP,
+        )
+        mta.attach()
+        sender = SendingMta("out.sender.example", world.network, world.directory, ipv4=CLIENT_IP)
+        record, t = sender.send(self._message(), "a@sender.example", "b@mail-rcpt.example", 0.0, sign=False)
+        assert record.success
+        assert len(record.attempts) == 2  # original + one retry
+        assert record.t_delivered >= 900.0  # a full retry interval later
+        assert len(mta.deliveries) == 1
+
+    def test_no_retry_budget_fails(self, delivery_world):
+        world = delivery_world
+        ReceivingMta(
+            "mx.mail-rcpt.example", world.network, world.directory,
+            MtaBehavior(accepts_any_recipient=True, greylists=True,
+                        validates_dkim=False, validates_dmarc=False),
+            ipv4=MTA_IP,
+        ).attach()
+        sender = SendingMta("out.sender.example", world.network, world.directory, ipv4=CLIENT_IP)
+        record, _ = sender.send(
+            self._message(), "a@sender.example", "b@mail-rcpt.example", 0.0,
+            sign=False, max_retries=0,
+        )
+        assert not record.success
+        assert record.reply.code == 451
+
+    def test_permanent_failure_not_retried(self, delivery_world):
+        world = delivery_world
+        ReceivingMta(
+            "mx.mail-rcpt.example", world.network, world.directory,
+            MtaBehavior(accepts_any_recipient=False, accepts_postmaster=False,
+                        validates_dkim=False, validates_dmarc=False),
+            ipv4=MTA_IP,
+        ).attach()
+        sender = SendingMta("out.sender.example", world.network, world.directory, ipv4=CLIENT_IP)
+        record, _ = sender.send(self._message(), "a@sender.example", "b@mail-rcpt.example", 0.0, sign=False)
+        assert not record.success
+        assert len(record.attempts) == 1  # 550 is final; no retry pass

@@ -1,0 +1,163 @@
+"""Tests for the sending MTA: MX selection, failover, implicit MX, signing."""
+
+import pytest
+
+from repro.dkim import DkimSigner, generate_keypair
+from repro.dns.rdata import AAAARecord, ARecord, MxRecord, TxtRecord
+from repro.mta.sender import SendingMta
+from repro.smtp.message import EmailMessage
+from repro.smtp.protocol import Reply
+from repro.smtp.server import SmtpServer, SmtpSession
+from tests.helpers import World
+
+SRC4 = "203.0.113.50"
+SRC6 = "2001:db8:5::50"
+KEYPAIR = generate_keypair(1024, seed=88)
+
+
+class _Collector(SmtpSession):
+    """Accepts everything; remembers messages on the class."""
+
+    inbox = None  # type: list
+
+    def on_message(self, message, t):
+        type(self).inbox.append((message, self.mail_from, t))
+        return Reply(250, "queued"), 0.0
+
+
+class _Refuser(SmtpSession):
+    def on_mail(self, mailbox, t):
+        return Reply(451, "try again later"), 0.0
+
+
+@pytest.fixture
+def world():
+    world = World(seed=71)
+    zone = world.zone("rcpt.example")
+    zone.add("rcpt.example", MxRecord(20, "backup.rcpt.example"))
+    zone.add("rcpt.example", MxRecord(10, "primary.rcpt.example"))
+    zone.add("primary.rcpt.example", ARecord("198.51.100.40"))
+    zone.add("backup.rcpt.example", ARecord("198.51.100.41"))
+    zone.add("bare.rcpt.example", ARecord("198.51.100.42"))
+    zone.add("dual.rcpt.example", MxRecord(10, "dualmx.rcpt.example"))
+    zone.add("dualmx.rcpt.example", ARecord("198.51.100.43"))
+    zone.add("dualmx.rcpt.example", AAAARecord("2001:db8:9::43"))
+    return world
+
+
+@pytest.fixture
+def inbox():
+    box = []
+    _Collector.inbox = box
+    return box
+
+
+def _sender(world, **kwargs):
+    return SendingMta(
+        "out.sender.example", world.network, world.directory, ipv4=SRC4, **kwargs
+    )
+
+
+def _message():
+    return EmailMessage(
+        [("From", "a@sender.example"), ("To", "b@rcpt.example"), ("Subject", "s")],
+        "hello\r\n",
+    )
+
+
+def _listen(world, ip, session_cls=_Collector):
+    SmtpServer(lambda src, t: session_cls(src, t)).attach(world.network, ip)
+
+
+class TestTargetSelection:
+    def test_mx_preference_order(self, world):
+        sender = _sender(world)
+        targets, _ = sender.resolve_targets("rcpt.example", 0.0)
+        hosts = [host for host, _ in targets]
+        assert hosts == ["primary.rcpt.example", "backup.rcpt.example"]
+
+    def test_implicit_mx_fallback(self, world):
+        sender = _sender(world)
+        targets, _ = sender.resolve_targets("bare.rcpt.example", 0.0)
+        assert targets == [("bare.rcpt.example", "198.51.100.42")]
+
+    def test_ipv6_ordering_preference(self, world):
+        sender = SendingMta(
+            "out.sender.example", world.network, world.directory,
+            ipv4=SRC4, ipv6=SRC6, prefer_ipv6=True,
+        )
+        targets, _ = sender.resolve_targets("dual.rcpt.example", 0.0)
+        addresses = [address for _, address in targets]
+        assert addresses[0] == "2001:db8:9::43"
+
+    def test_v4_first_by_default(self, world):
+        sender = SendingMta(
+            "out.sender.example", world.network, world.directory, ipv4=SRC4, ipv6=SRC6
+        )
+        targets, _ = sender.resolve_targets("dual.rcpt.example", 0.0)
+        assert targets[0][1] == "198.51.100.43"
+
+
+class TestDelivery:
+    def test_successful_delivery(self, world, inbox):
+        _listen(world, "198.51.100.40")
+        sender = _sender(world)
+        record, t = sender.send(_message(), "a@sender.example", "b@rcpt.example", 0.0, sign=False)
+        assert record.success
+        assert record.mta_ip == "198.51.100.40"
+        assert record.mx_host == "primary.rcpt.example"
+        assert record.t_delivered is not None and record.t_delivered <= t
+        assert len(inbox) == 1
+        assert inbox[0][1].address == "a@sender.example"
+
+    def test_failover_to_backup_mx(self, world, inbox):
+        # Primary host has no SMTP listener at all.
+        _listen(world, "198.51.100.41")
+        sender = _sender(world)
+        record, _ = sender.send(_message(), "a@sender.example", "b@rcpt.example", 0.0, sign=False)
+        assert record.success
+        assert record.mta_ip == "198.51.100.41"
+        assert record.attempts == ["198.51.100.40", "198.51.100.41"]
+
+    def test_transient_failure_tries_next(self, world, inbox):
+        _listen(world, "198.51.100.40", _Refuser)
+        _listen(world, "198.51.100.41")
+        sender = _sender(world)
+        record, _ = sender.send(_message(), "a@sender.example", "b@rcpt.example", 0.0, sign=False)
+        assert record.success
+        assert record.mta_ip == "198.51.100.41"
+
+    def test_no_targets_at_all(self, world):
+        sender = _sender(world)
+        record, _ = sender.send(_message(), "a@s.example", "b@missing.example", 0.0, sign=False)
+        assert not record.success
+        assert record.mta_ip is None
+
+    def test_delivery_log_kept(self, world, inbox):
+        _listen(world, "198.51.100.40")
+        sender = _sender(world)
+        sender.send(_message(), "a@sender.example", "b@rcpt.example", 0.0, sign=False)
+        sender.send(_message(), "a@sender.example", "c@rcpt.example", 10.0, sign=False)
+        assert len(sender.log) == 2
+
+
+class TestSigning:
+    def test_message_signed_on_the_way_out(self, world, inbox):
+        _listen(world, "198.51.100.40")
+        signer = DkimSigner("sender.example", "s1", KEYPAIR.private)
+        sender = _sender(world, signer=signer)
+        record, _ = sender.send(_message(), "a@sender.example", "b@rcpt.example", 0.0)
+        assert record.success
+        received = inbox[0][0]
+        value = received.get_header("DKIM-Signature")
+        assert value is not None
+        assert "d=sender.example" in value
+
+    def test_existing_signature_not_replaced(self, world, inbox):
+        _listen(world, "198.51.100.40")
+        signer = DkimSigner("sender.example", "s1", KEYPAIR.private)
+        message = _message()
+        signer.sign(message)
+        sender = _sender(world, signer=signer)
+        sender.send(message, "a@sender.example", "b@rcpt.example", 0.0)
+        assert len(inbox[0][0].get_all("DKIM-Signature")) == 1

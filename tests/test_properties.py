@@ -1,0 +1,205 @@
+"""Cross-module property-based tests (hypothesis).
+
+These generate random-but-valid protocol artefacts and assert structural
+invariants: parse/serialise fixpoints, evaluator totality, cache
+correctness under arbitrary access patterns.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dmarc.record import DmarcRecord
+from repro.dns.cache import TtlCache
+from repro.dns.name import Name
+from repro.dns.rdata import RdataType
+from repro.spf.errors import SpfSyntaxError
+from repro.spf.macros import MacroContext, expand_macros
+from repro.spf.parser import parse_record
+from repro.spf.result import SpfResult
+
+# -- strategies -----------------------------------------------------------
+
+_label = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=10)
+_domain = st.lists(_label, min_size=2, max_size=4).map(".".join)
+
+_octet = st.integers(0, 255)
+_ipv4 = st.tuples(_octet, _octet, _octet, _octet).map(lambda t: "%d.%d.%d.%d" % t)
+
+_qualifier = st.sampled_from(["", "+", "-", "~", "?"])
+
+_mechanism = st.one_of(
+    st.just("all"),
+    st.builds(lambda ip: "ip4:%s" % ip, _ipv4),
+    st.builds(lambda ip, p: "ip4:%s/%d" % (ip, p), _ipv4, st.integers(0, 32)),
+    st.builds(lambda n: "ip6:2001:db8::%x/%d" % (n, 48), st.integers(0, 0xFFFF)),
+    st.just("a"),
+    st.builds(lambda d: "a:%s" % d, _domain),
+    st.builds(lambda d, c: "a:%s/%d" % (d, c), _domain, st.integers(0, 32)),
+    st.just("mx"),
+    st.builds(lambda d: "mx:%s" % d, _domain),
+    st.builds(lambda d: "include:%s" % d, _domain),
+    st.builds(lambda d: "exists:%s" % d, _domain),
+    st.just("ptr"),
+    st.builds(lambda d: "ptr:%s" % d, _domain),
+)
+
+_term = st.one_of(
+    st.tuples(_qualifier, _mechanism).map(lambda pair: pair[0] + pair[1]),
+    st.builds(lambda d: "redirect=%s" % d, _domain),
+    st.builds(lambda d: "exp=%s" % d, _domain),
+)
+
+_spf_record = st.lists(_term, min_size=0, max_size=8).map(
+    lambda terms: ("v=spf1 " + " ".join(terms)).strip()
+)
+
+
+# -- SPF parser ------------------------------------------------------------
+
+
+@given(_spf_record)
+def test_spf_parse_serialise_fixpoint(text):
+    """parse -> to_text -> parse is a fixpoint for valid records."""
+    record = parse_record(text)
+    rendered = record.to_text()
+    again = parse_record(rendered)
+    assert again.terms == record.terms
+    assert again.to_text() == rendered
+
+
+@given(_spf_record)
+def test_tolerant_parse_agrees_on_valid_input(text):
+    assert parse_record(text, tolerant=True).terms == parse_record(text).terms
+
+
+@given(st.text(max_size=60))
+def test_spf_parser_total_on_garbage(text):
+    """Arbitrary text either parses or raises SpfSyntaxError — nothing else."""
+    try:
+        parse_record("v=spf1 " + text)
+    except SpfSyntaxError:
+        pass
+
+
+# -- SPF evaluation totality -----------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(_spf_record, _ipv4)
+def test_evaluator_total_without_dns(record_text, client_ip):
+    """Against an empty DNS world the evaluator must terminate with a
+    legal result for any valid policy and any client address."""
+    from repro.dns.resolver import AuthorityDirectory, Resolver
+    from repro.dns.rdata import SoaRecord, TxtRecord
+    from repro.dns.server import AuthoritativeServer
+    from repro.dns.zone import Zone
+    from repro.net.clock import Clock
+    from repro.net.latency import LatencyModel
+    from repro.net.network import Network
+    from repro.spf.evaluator import SpfEvaluator
+
+    network = Network(LatencyModel(0.001), Clock())
+    zone = Zone("prop.test", soa=SoaRecord("ns1.prop.test", "h.prop.test"))
+    zone.add("prop.test", TxtRecord(record_text))
+    AuthoritativeServer([zone]).attach(network, "198.51.100.1")
+    directory = AuthorityDirectory()
+    directory.register("prop.test", "198.51.100.1")
+    resolver = Resolver(network, directory, address4="203.0.113.1")
+    outcome = SpfEvaluator(resolver).check_host(client_ip, "prop.test", "u@prop.test")
+    assert outcome.result in SpfResult
+    assert outcome.t_completed >= outcome.t_started
+    # Strict evaluation never exceeds its own limits.
+    assert outcome.mechanism_lookups <= 11
+    assert outcome.void_lookups <= 3
+
+
+# -- macros -----------------------------------------------------------------
+
+_macro_letter = st.sampled_from("slodivh")
+_macro_spec = st.lists(
+    st.one_of(
+        st.builds(lambda c, d, r: "%%{%s%s%s}" % (c, d, r),
+                  _macro_letter,
+                  st.sampled_from(["", "1", "2", "3"]),
+                  st.sampled_from(["", "r"])),
+        _label,
+        st.just("."),
+    ),
+    min_size=1, max_size=6,
+).map("".join)
+
+
+@given(_macro_spec, _ipv4)
+def test_macro_expansion_total(spec, ip):
+    context = MacroContext(sender="u@example.com", domain="example.com", client_ip=ip, helo="h.example")
+    try:
+        expanded = expand_macros(spec, context)
+    except SpfSyntaxError:
+        return  # stray % composed by the generator
+    assert "%" not in expanded or "%20" in expanded
+
+
+# -- DMARC records -----------------------------------------------------------
+
+_dmarc_record = st.builds(
+    lambda p, sp, aspf, pct: "v=DMARC1; p=%s%s%s%s" % (
+        p,
+        "; sp=%s" % sp if sp else "",
+        "; aspf=%s" % aspf if aspf else "",
+        "; pct=%d" % pct if pct is not None else "",
+    ),
+    st.sampled_from(["none", "quarantine", "reject"]),
+    st.sampled_from([None, "none", "quarantine", "reject"]),
+    st.sampled_from([None, "r", "s"]),
+    st.one_of(st.none(), st.integers(0, 100)),
+)
+
+
+@given(_dmarc_record)
+def test_dmarc_roundtrip(text):
+    record = DmarcRecord.from_text(text)
+    again = DmarcRecord.from_text(record.to_text())
+    assert again.policy == record.policy
+    assert again.subdomain_policy == record.subdomain_policy
+    assert again.spf_alignment == record.spf_alignment
+    assert again.percent == record.percent
+
+
+# -- TTL cache ---------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["a.test", "b.test", "c.test"]),
+            st.sampled_from([RdataType.A, RdataType.TXT]),
+            st.integers(0, 3),  # op: 0/1 put with ttl bucket, 2/3 get
+            st.floats(0.0, 100.0),
+        ),
+        max_size=40,
+    )
+)
+def test_ttl_cache_never_serves_stale(operations):
+    cache = TtlCache()
+    shadow = {}
+    now = 0.0
+    for name_text, rdtype, op, dt in operations:
+        now += dt  # time only moves forward
+        name = Name(name_text)
+        key = (name.key, rdtype)
+        if op <= 1:
+            ttl = 10.0 * (op + 1)
+            cache.put(name, rdtype, "value@%f" % now, ttl, now)
+            shadow[key] = (now + ttl, "value@%f" % now)
+        else:
+            got = cache.get(name, rdtype, now)
+            expiry_value = shadow.get(key)
+            if got is not None:
+                # Whatever the cache returns must still be fresh.
+                assert expiry_value is not None
+                expiry, value = expiry_value
+                assert got == value
+                assert now < expiry

@@ -1,0 +1,125 @@
+"""SMTP edge cases: pipelining-style input, envelope reuse, odd framing."""
+
+import pytest
+
+from repro.net import Clock, Network, UniformLatency
+from repro.smtp import EmailMessage, Reply, SmtpClient, SmtpServer, SmtpSession
+
+SERVER_IP = "198.51.100.95"
+CLIENT_IP = "203.0.113.95"
+
+
+class CollectingSession(SmtpSession):
+    banner_host = "edge.mx.example"
+
+    def __init__(self, client_ip, t_accept):
+        super().__init__(client_ip, t_accept)
+        self.messages = []
+
+    def on_message(self, message, t):
+        self.messages.append(message)
+        return Reply(250, "queued #%d" % len(self.messages)), 0.0
+
+
+@pytest.fixture
+def rig():
+    network = Network(UniformLatency(seed=141), Clock())
+    sessions = []
+
+    def factory(ip, t):
+        session = CollectingSession(ip, t)
+        sessions.append(session)
+        return session
+
+    SmtpServer(factory).attach(network, SERVER_IP)
+    return network, sessions
+
+
+class TestPipelining:
+    def test_multiple_commands_in_one_segment(self, rig):
+        """Clients that pipeline send several commands in one TCP write;
+        the session must answer each in order."""
+        network, sessions = rig
+        channel = network.connect_tcp(CLIENT_IP, SERVER_IP, 25, 0.0)
+        data = b"EHLO c.example\r\nMAIL FROM:<a@b.example>\r\nRCPT TO:<x@y.example>\r\n"
+        reply, _ = channel.request(data, channel.t_established)
+        text = reply.decode()
+        assert text.count("250") >= 3
+        assert sessions[0].mail_from.address == "a@b.example"
+        assert sessions[0].rcpt_to[0].address == "x@y.example"
+
+    def test_split_command_across_segments(self, rig):
+        """A command arriving in two TCP segments is buffered, not mangled."""
+        network, sessions = rig
+        channel = network.connect_tcp(CLIENT_IP, SERVER_IP, 25, 0.0)
+        silent, _ = channel.request(b"EHLO c.exa", channel.t_established)
+        assert silent is None  # incomplete line: no reply yet
+        reply, _ = channel.request(b"mple\r\n", channel.t_established + 0.1)
+        assert b"250" in reply
+        assert sessions[0].helo_name == "c.example"
+
+    def test_data_and_terminator_in_one_segment(self, rig):
+        network, sessions = rig
+        channel = network.connect_tcp(CLIENT_IP, SERVER_IP, 25, 0.0)
+        preamble = (
+            b"EHLO c.example\r\nMAIL FROM:<a@b.example>\r\nRCPT TO:<x@y.example>\r\nDATA\r\n"
+        )
+        reply, t = channel.request(preamble, channel.t_established)
+        assert b"354" in reply
+        body = b"Subject: s\r\n\r\nline one\r\nline two\r\n.\r\n"
+        reply, _ = channel.request(body, t)
+        assert b"queued #1" in reply
+        assert sessions[0].messages[0].body == "line one\r\nline two"
+
+
+class TestEnvelopeReuse:
+    def test_two_messages_one_connection(self, rig):
+        network, sessions = rig
+        client, t = SmtpClient.connect(network, CLIENT_IP, SERVER_IP, 0.0)
+        _, t = client.ehlo("c.example", t)
+        for index in range(2):
+            _, t = client.mail("a%d@b.example" % index, t)
+            _, t = client.rcpt("x@y.example", t)
+            _, t = client.data_command(t)
+            _, t = client.send_message(
+                EmailMessage([("From", "a%d@b.example" % index)], "msg %d" % index), t
+            )
+        assert len(sessions[0].messages) == 2
+        assert sessions[0].messages[1].body == "msg 1"
+        # Envelope resets after each message: a bare RCPT must 503 now.
+        reply, _ = client.rcpt("z@y.example", t)
+        assert reply.code == 503
+
+    def test_rset_mid_data_not_special(self, rig):
+        """Inside DATA, 'RSET' is message content, not a command."""
+        network, sessions = rig
+        client, t = SmtpClient.connect(network, CLIENT_IP, SERVER_IP, 0.0)
+        _, t = client.ehlo("c.example", t)
+        _, t = client.mail("a@b.example", t)
+        _, t = client.rcpt("x@y.example", t)
+        _, t = client.data_command(t)
+        _, t = client.send_message(EmailMessage([("From", "a@b.example")], "RSET\r\nQUIT"), t)
+        assert sessions[0].messages[0].body == "RSET\r\nQUIT"
+
+
+class TestFraming:
+    def test_bare_dot_line_requires_exact_match(self, rig):
+        """A line of '..' is content (unstuffed to '.'), not a terminator."""
+        network, sessions = rig
+        client, t = SmtpClient.connect(network, CLIENT_IP, SERVER_IP, 0.0)
+        _, t = client.ehlo("c.example", t)
+        _, t = client.mail("a@b.example", t)
+        _, t = client.rcpt("x@y.example", t)
+        _, t = client.data_command(t)
+        message = EmailMessage([("From", "a@b.example")], ".\r\nstill content")
+        reply, _ = client.send_message(message, t)
+        assert reply.code == 250
+        assert sessions[0].messages[0].body == ".\r\nstill content"
+
+    def test_commands_case_insensitive(self, rig):
+        network, _ = rig
+        client, t = SmtpClient.connect(network, CLIENT_IP, SERVER_IP, 0.0)
+        reply, t = client.command("ehlo c.example", t)
+        assert reply.code == 250
+        reply, t = client.command("mail from:<a@b.example>", t)
+        assert reply.code == 250

@@ -1,0 +1,89 @@
+"""Tests for the RFC 5322 message model."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.smtp.message import EmailMessage
+
+
+class TestHeaders:
+    def test_get_header_case_insensitive(self):
+        message = EmailMessage([("From", "a@b"), ("Subject", "hi")])
+        assert message.get_header("from") == "a@b"
+        assert message.get_header("SUBJECT") == "hi"
+        assert message.get_header("missing") is None
+
+    def test_get_all(self):
+        message = EmailMessage([("Received", "one"), ("Received", "two")])
+        assert message.get_all("received") == ["one", "two"]
+
+    def test_prepend_puts_header_first(self):
+        message = EmailMessage([("From", "a@b")])
+        message.prepend_header("DKIM-Signature", "v=1")
+        assert message.headers[0][0] == "DKIM-Signature"
+
+    def test_remove_headers(self):
+        message = EmailMessage([("X-Spam", "yes"), ("From", "a@b"), ("x-spam", "no")])
+        message.remove_headers("X-Spam")
+        assert [name for name, _ in message.headers] == ["From"]
+
+
+class TestSerialisation:
+    def test_to_text_structure(self):
+        message = EmailMessage([("From", "a@b"), ("To", "c@d")], "body line")
+        assert message.to_text() == "From: a@b\r\nTo: c@d\r\n\r\nbody line"
+
+    def test_roundtrip(self):
+        message = EmailMessage(
+            [("From", "alice@example.org"), ("Subject", "Test")],
+            "Hello\r\n\r\nWorld\r\n",
+        )
+        parsed = EmailMessage.from_text(message.to_text())
+        assert parsed.headers == message.headers
+        assert parsed.body == message.body
+
+    def test_folded_header_preserved(self):
+        text = "Subject: first part\r\n second part\r\nFrom: a@b\r\n\r\nbody"
+        parsed = EmailMessage.from_text(text)
+        assert parsed.get_header("Subject") == "first part\r\n second part"
+        assert parsed.get_header("From") == "a@b"
+        assert EmailMessage.from_text(parsed.to_text()).headers == parsed.headers
+
+    def test_lf_input_normalised(self):
+        message = EmailMessage(body="a\nb\nc")
+        assert message.body == "a\r\nb\r\nc"
+
+    def test_cr_input_normalised(self):
+        assert EmailMessage(body="a\rb").body == "a\r\nb"
+
+    def test_headerless_message(self):
+        parsed = EmailMessage.from_text("\r\njust a body")
+        assert parsed.headers == []
+        assert parsed.body == "just a body"
+
+    def test_bodyless_message(self):
+        parsed = EmailMessage.from_text("From: a@b")
+        assert parsed.get_header("From") == "a@b"
+        assert parsed.body == ""
+
+
+_header_name = st.text(
+    alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz-", min_size=1, max_size=20
+)
+_header_value = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), min_size=0, max_size=60
+).map(lambda s: s.strip() or "x")
+_body_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=200
+)
+
+
+@given(
+    headers=st.lists(st.tuples(_header_name, _header_value), min_size=1, max_size=8),
+    body=_body_text,
+)
+def test_message_roundtrip_property(headers, body):
+    message = EmailMessage(headers, body)
+    parsed = EmailMessage.from_text(message.to_text())
+    assert parsed.headers == message.headers
+    assert parsed.body == message.body

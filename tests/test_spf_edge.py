@@ -1,0 +1,147 @@
+"""SPF evaluator edge cases: loops, depth, redirect subtleties, exp rules."""
+
+import pytest
+
+from repro.dns.rdata import ARecord, TxtRecord
+from repro.spf import SpfConfig, SpfEvaluator, SpfResult
+from tests.helpers import World
+
+IP = "192.0.2.1"
+
+
+@pytest.fixture
+def world():
+    return World(seed=151)
+
+
+def _check(world, domain, config=None, ip=IP):
+    evaluator = SpfEvaluator(world.resolver(), config=config)
+    return evaluator.check_host(ip, domain, "u@%s" % domain)
+
+
+class TestLoops:
+    def test_self_include_terminates(self, world):
+        zone = world.zone("loop.test")
+        zone.add("loop.test", TxtRecord("v=spf1 include:loop.test -all"))
+        outcome = _check(world, "loop.test")
+        assert outcome.result is SpfResult.PERMERROR  # lookup limit trips
+
+    def test_self_include_without_limits_hits_depth_guard(self, world):
+        zone = world.zone("loop2.test")
+        zone.add("loop2.test", TxtRecord("v=spf1 include:loop2.test -all"))
+        config = SpfConfig(max_dns_mechanisms=None)
+        outcome = _check(world, "loop2.test", config)
+        assert outcome.result is SpfResult.PERMERROR
+        assert outcome.mechanism_lookups <= config.max_include_depth + 2
+
+    def test_mutual_include_terminates(self, world):
+        zone = world.zone("ab.test")
+        zone.add("a.ab.test", TxtRecord("v=spf1 include:b.ab.test -all"))
+        zone.add("b.ab.test", TxtRecord("v=spf1 include:a.ab.test -all"))
+        assert _check(world, "a.ab.test").result is SpfResult.PERMERROR
+
+    def test_redirect_self_loop_terminates(self, world):
+        zone = world.zone("rl.test")
+        zone.add("rl.test", TxtRecord("v=spf1 redirect=rl.test"))
+        assert _check(world, "rl.test").result is SpfResult.PERMERROR
+
+
+class TestRedirectSubtleties:
+    def test_redirect_ignored_when_all_present(self, world):
+        zone = world.zone("ra.test")
+        zone.add("ra.test", TxtRecord("v=spf1 -all redirect=open.ra.test"))
+        zone.add("open.ra.test", TxtRecord("v=spf1 +all"))
+        outcome = _check(world, "ra.test")
+        assert outcome.result is SpfResult.FAIL  # -all matched; no redirect
+        assert not any(r.qname == "open.ra.test" for r in outcome.lookups)
+
+    def test_redirect_result_replaces_neutral_default(self, world):
+        zone = world.zone("rr.test")
+        zone.add("rr.test", TxtRecord("v=spf1 ip4:10.9.9.9 redirect=strict.rr.test"))
+        zone.add("strict.rr.test", TxtRecord("v=spf1 -all"))
+        assert _check(world, "rr.test").result is SpfResult.FAIL
+
+    def test_redirect_counts_toward_lookup_limit(self, world):
+        zone = world.zone("rc.test")
+        chain = " ".join("include:c%d.rc.test" % index for index in range(10))
+        zone.add("rc.test", TxtRecord("v=spf1 %s redirect=tail.rc.test" % chain))
+        for index in range(10):
+            zone.add("c%d.rc.test" % index, TxtRecord("v=spf1 ?all"))
+        zone.add("tail.rc.test", TxtRecord("v=spf1 -all"))
+        outcome = _check(world, "rc.test")
+        # 10 includes consume the budget; following redirect is the 11th.
+        assert outcome.result is SpfResult.PERMERROR
+
+    def test_redirect_macro_expansion(self, world):
+        zone = world.zone("rm.test")
+        zone.add("rm.test", TxtRecord("v=spf1 redirect=%{d2}"))
+        # %{d2} of rm.test is rm.test itself: a redirect loop, caught.
+        assert _check(world, "rm.test").result is SpfResult.PERMERROR
+
+
+class TestExpRules:
+    def test_exp_only_at_top_level(self, world):
+        """A child policy's exp= must not be used for the parent's fail."""
+        zone = world.zone("exp.test")
+        zone.add("exp.test", TxtRecord("v=spf1 include:child.exp.test -all"))
+        zone.add("child.exp.test", TxtRecord("v=spf1 ip4:10.0.0.1 -all exp=childwhy.exp.test"))
+        zone.add("childwhy.exp.test", TxtRecord("child explanation"))
+        outcome = _check(world, "exp.test")
+        # include's child fails -> no match -> parent -all fails the check,
+        # and the parent has no exp=, so no explanation is produced.
+        assert outcome.result is SpfResult.FAIL
+        assert outcome.explanation is None
+
+    def test_exp_lookup_failure_is_not_fatal(self, world):
+        zone = world.zone("expfail.test")
+        zone.add("expfail.test", TxtRecord("v=spf1 -all exp=missing.expfail.test"))
+        outcome = _check(world, "expfail.test")
+        assert outcome.result is SpfResult.FAIL
+        assert outcome.explanation is None
+
+    def test_exp_with_multiple_txt_ignored(self, world):
+        zone = world.zone("expm.test")
+        zone.add("expm.test", TxtRecord("v=spf1 -all exp=why.expm.test"))
+        zone.add("why.expm.test", TxtRecord("one"))
+        zone.add("why.expm.test", TxtRecord("two"))
+        outcome = _check(world, "expm.test")
+        assert outcome.result is SpfResult.FAIL
+        assert outcome.explanation is None
+
+
+class TestDomainValidation:
+    def test_trailing_dot_domain_accepted(self, world):
+        zone = world.zone("dot.test")
+        zone.add("dot.test", TxtRecord("v=spf1 ip4:%s -all" % IP))
+        assert _check(world, "dot.test.").result is SpfResult.PASS
+
+    def test_oversized_label_is_none(self, world):
+        assert _check(world, ("x" * 64) + ".test").result is SpfResult.NONE
+
+    def test_ipv6_sender_against_ip4_only_policy(self, world):
+        zone = world.zone("v6s.test")
+        zone.add("v6s.test", TxtRecord("v=spf1 ip4:192.0.2.0/24 ~all"))
+        outcome = _check(world, "v6s.test", ip="2001:db8::1")
+        assert outcome.result is SpfResult.SOFTFAIL
+
+    def test_cidr_zero_matches_everything(self, world):
+        zone = world.zone("zero.test")
+        zone.add("zero.test", TxtRecord("v=spf1 ip4:8.8.8.8/0 -all"))
+        assert _check(world, "zero.test", ip="1.2.3.4").result is SpfResult.PASS
+
+
+class TestDualCidrOnA:
+    def test_ipv6_cidr_applies_to_aaaa(self, world):
+        from repro.dns.rdata import AAAARecord
+
+        zone = world.zone("dc.test")
+        zone.add("dc.test", TxtRecord("v=spf1 a:net.dc.test/24//64 -all"))
+        zone.add("net.dc.test", AAAARecord("2001:db8:1:2::1"))
+        zone.add("net.dc.test", ARecord("192.0.2.1"))
+        evaluator = SpfEvaluator(world.resolver())
+        # Same /64 as the AAAA record -> pass.
+        outcome = evaluator.check_host("2001:db8:1:2::ffff", "dc.test", "u@dc.test")
+        assert outcome.result is SpfResult.PASS
+        # Different /64 -> fail.
+        outcome = evaluator.check_host("2001:db8:1:3::1", "dc.test", "u@dc.test")
+        assert outcome.result is SpfResult.FAIL

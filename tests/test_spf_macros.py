@@ -1,0 +1,126 @@
+"""Tests for SPF macro expansion (RFC 7208 section 7.4 examples)."""
+
+import pytest
+
+from repro.spf.errors import SpfSyntaxError
+from repro.spf.macros import MacroContext, expand_macros
+
+
+@pytest.fixture
+def context():
+    # The RFC 7208 section 7.4 example context.
+    return MacroContext(
+        sender="strong-bad@email.example.com",
+        domain="email.example.com",
+        client_ip="192.0.2.3",
+        helo="mx.example.org",
+    )
+
+
+class TestRfcExamples:
+    """The worked examples straight out of RFC 7208 section 7.4."""
+
+    @pytest.mark.parametrize(
+        "spec,expected",
+        [
+            ("%{s}", "strong-bad@email.example.com"),
+            ("%{o}", "email.example.com"),
+            ("%{d}", "email.example.com"),
+            ("%{d4}", "email.example.com"),
+            ("%{d3}", "email.example.com"),
+            ("%{d2}", "example.com"),
+            ("%{d1}", "com"),
+            ("%{dr}", "com.example.email"),
+            ("%{d2r}", "example.email"),
+            ("%{l}", "strong-bad"),
+            ("%{l-}", "strong.bad"),
+            ("%{lr}", "strong-bad"),
+            ("%{lr-}", "bad.strong"),
+            ("%{l1r-}", "strong"),
+        ],
+    )
+    def test_simple_expansions(self, context, spec, expected):
+        assert expand_macros(spec, context) == expected
+
+    @pytest.mark.parametrize(
+        "spec,expected",
+        [
+            ("%{ir}.%{v}._spf.%{d2}", "3.2.0.192.in-addr._spf.example.com"),
+            ("%{lr-}.lp._spf.%{d2}", "bad.strong.lp._spf.example.com"),
+            ("%{lr-}.lp.%{ir}.%{v}._spf.%{d2}", "bad.strong.lp.3.2.0.192.in-addr._spf.example.com"),
+            ("%{ir}.%{v}.%{l1r-}.lp._spf.%{d2}", "3.2.0.192.in-addr.strong.lp._spf.example.com"),
+            ("%{d2}.trusted-domains.example.net", "example.com.trusted-domains.example.net"),
+        ],
+    )
+    def test_composite_expansions(self, context, spec, expected):
+        assert expand_macros(spec, context) == expected
+
+    def test_ipv6_nibble_expansion(self, context):
+        v6_context = MacroContext(
+            sender=context.sender,
+            domain=context.domain,
+            client_ip="2001:db8::cb01",
+            helo=context.helo,
+        )
+        expected = (
+            "1.0.b.c.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.8.b.d.0.1.0.0.2"
+            ".ip6._spf.example.com"
+        )
+        assert expand_macros("%{ir}.%{v}._spf.%{d2}", v6_context) == expected
+
+
+class TestOtherLetters:
+    def test_helo_macro(self, context):
+        assert expand_macros("%{h}", context) == "mx.example.org"
+
+    def test_ip_macro_v4(self, context):
+        assert expand_macros("%{i}", context) == "192.0.2.3"
+
+    def test_p_macro_defaults_to_unknown(self, context):
+        assert expand_macros("%{p}", context) == "unknown"
+
+    def test_p_macro_uses_validated_name(self, context):
+        context.validated_ptr = "mail.example.com"
+        assert expand_macros("%{p}", context) == "mail.example.com"
+
+    def test_literals(self, context):
+        assert expand_macros("a%%b", context) == "a%b"
+        assert expand_macros("a%_b", context) == "a b"
+        assert expand_macros("a%-b", context) == "a%20b"
+
+    def test_exp_only_letters_rejected_in_domain_spec(self, context):
+        for spec in ("%{c}", "%{r}", "%{t}"):
+            with pytest.raises(SpfSyntaxError):
+                expand_macros(spec, context)
+
+    def test_exp_only_letters_allowed_in_exp(self, context):
+        assert expand_macros("%{c}", context, is_exp=True) == "192.0.2.3"
+        assert expand_macros("%{r}", context, is_exp=True) == "receiver.invalid"
+
+    def test_uppercase_letter_url_escapes(self, context):
+        context_with_space = MacroContext(
+            sender="st rong@example.com",
+            domain="example.com",
+            client_ip="192.0.2.3",
+            helo="h.example",
+        )
+        assert expand_macros("%{S}", context_with_space) == "st%20rong%40example.com"
+
+    def test_unknown_letter_rejected(self, context):
+        with pytest.raises(SpfSyntaxError):
+            expand_macros("%{z}", context)
+
+    def test_stray_percent_rejected(self, context):
+        with pytest.raises(SpfSyntaxError):
+            expand_macros("100%", context)
+
+    def test_zero_digit_transformer_rejected(self, context):
+        with pytest.raises(SpfSyntaxError):
+            expand_macros("%{d0}", context)
+
+    def test_empty_local_part_becomes_postmaster(self):
+        context = MacroContext(sender="example.com", domain="example.com", client_ip="1.2.3.4", helo="h")
+        assert expand_macros("%{l}", context) == "postmaster"
+
+    def test_plain_text_passthrough(self, context):
+        assert expand_macros("_spf.example.com", context) == "_spf.example.com"

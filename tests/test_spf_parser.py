@@ -1,0 +1,169 @@
+"""Tests for the SPF record parser."""
+
+import pytest
+
+from repro.spf.errors import SpfSyntaxError
+from repro.spf.parser import parse_record
+from repro.spf.terms import (
+    Directive,
+    InvalidTerm,
+    MechanismKind,
+    Modifier,
+    Qualifier,
+    looks_like_spf,
+)
+
+
+class TestVersionSection:
+    def test_bare_record(self):
+        record = parse_record("v=spf1")
+        assert record.terms == []
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(SpfSyntaxError):
+            parse_record("v=spf2 -all")
+
+    def test_version_must_be_delimited(self):
+        assert not looks_like_spf("v=spf10 -all")
+        assert looks_like_spf("v=spf1 -all")
+        assert looks_like_spf("v=spf1")
+        assert not looks_like_spf("v=DMARC1; p=none")
+
+
+class TestMechanisms:
+    def test_all_with_qualifiers(self):
+        record = parse_record("v=spf1 ?all")
+        directive = record.terms[0]
+        assert directive.qualifier is Qualifier.NEUTRAL
+        assert directive.mechanism.kind is MechanismKind.ALL
+
+    def test_default_qualifier_is_pass(self):
+        record = parse_record("v=spf1 all")
+        assert record.terms[0].qualifier is Qualifier.PASS
+
+    def test_all_takes_no_argument(self):
+        with pytest.raises(SpfSyntaxError):
+            parse_record("v=spf1 all:example.com")
+
+    def test_ip4_with_and_without_prefix(self):
+        record = parse_record("v=spf1 ip4:192.0.2.1 ip4:198.51.100.0/24")
+        assert record.terms[0].mechanism.network == "192.0.2.1/32"
+        assert record.terms[1].mechanism.network == "198.51.100.0/24"
+
+    def test_ip4_bad_prefix(self):
+        with pytest.raises(SpfSyntaxError):
+            parse_record("v=spf1 ip4:192.0.2.0/33")
+
+    def test_ip4_requires_address(self):
+        with pytest.raises(SpfSyntaxError):
+            parse_record("v=spf1 ip4")
+
+    def test_ip6(self):
+        record = parse_record("v=spf1 ip6:2001:db8::/32")
+        assert record.terms[0].mechanism.network == "2001:db8::/32"
+
+    def test_ip6_bad_prefix(self):
+        with pytest.raises(SpfSyntaxError):
+            parse_record("v=spf1 ip6:2001:db8::/129")
+
+    def test_misspelled_mechanism_rejected(self):
+        # 'ipv4' instead of 'ip4' — the exact error the paper's syntax test
+        # policy uses (Section 7.3).
+        with pytest.raises(SpfSyntaxError):
+            parse_record("v=spf1 ipv4:192.0.2.1 -all")
+
+    def test_a_bare_and_with_domain_and_cidr(self):
+        record = parse_record("v=spf1 a a:mail.example.com a:mail.example.com/28 a/24")
+        mechanisms = [t.mechanism for t in record.terms]
+        assert mechanisms[0].domain_spec is None and mechanisms[0].cidr4 is None
+        assert mechanisms[1].domain_spec == "mail.example.com"
+        assert mechanisms[2].cidr4 == 28
+        assert mechanisms[3].domain_spec is None and mechanisms[3].cidr4 == 24
+
+    def test_a_dual_cidr(self):
+        record = parse_record("v=spf1 a:m.example.com/28//64")
+        mechanism = record.terms[0].mechanism
+        assert mechanism.cidr4 == 28 and mechanism.cidr6 == 64
+
+    def test_a_ipv6_only_cidr(self):
+        record = parse_record("v=spf1 a//64")
+        mechanism = record.terms[0].mechanism
+        assert mechanism.cidr4 is None and mechanism.cidr6 == 64
+
+    def test_mx(self):
+        record = parse_record("v=spf1 mx mx:other.example.org/27")
+        assert record.terms[0].mechanism.kind is MechanismKind.MX
+        assert record.terms[1].mechanism.domain_spec == "other.example.org"
+        assert record.terms[1].mechanism.cidr4 == 27
+
+    def test_include_requires_domain(self):
+        with pytest.raises(SpfSyntaxError):
+            parse_record("v=spf1 include")
+        with pytest.raises(SpfSyntaxError):
+            parse_record("v=spf1 include:")
+
+    def test_exists_with_macro(self):
+        record = parse_record("v=spf1 exists:%{ir}.sbl.example.org")
+        assert record.terms[0].mechanism.domain_spec == "%{ir}.sbl.example.org"
+
+    def test_ptr_bare_and_with_domain(self):
+        record = parse_record("v=spf1 ptr ptr:example.com")
+        assert record.terms[0].mechanism.domain_spec is None
+        assert record.terms[1].mechanism.domain_spec == "example.com"
+
+    def test_bad_cidr_garbage(self):
+        with pytest.raises(SpfSyntaxError):
+            parse_record("v=spf1 a/abc")
+        with pytest.raises(SpfSyntaxError):
+            parse_record("v=spf1 a/24x")
+
+
+class TestModifiers:
+    def test_redirect(self):
+        record = parse_record("v=spf1 redirect=_spf.example.com")
+        assert record.modifier("redirect") == "_spf.example.com"
+
+    def test_exp(self):
+        record = parse_record("v=spf1 -all exp=explain.example.com")
+        assert record.modifier("exp") == "explain.example.com"
+
+    def test_unknown_modifier_tolerated(self):
+        # Unknown modifiers MUST be ignored (RFC 7208 s6).
+        record = parse_record("v=spf1 unknown-mod=anything -all")
+        assert isinstance(record.terms[0], Modifier)
+
+    def test_modifier_with_qualifier_rejected(self):
+        with pytest.raises(SpfSyntaxError):
+            parse_record("v=spf1 +redirect=example.com")
+
+    def test_modifier_lookup_is_case_insensitive(self):
+        record = parse_record("v=spf1 REDIRECT=x.example")
+        assert record.modifier("redirect") == "x.example"
+
+
+class TestTolerantMode:
+    def test_invalid_terms_preserved(self):
+        record = parse_record("v=spf1 ipv4:192.0.2.1 a:ok.example.com -all", tolerant=True)
+        assert isinstance(record.terms[0], InvalidTerm)
+        assert isinstance(record.terms[1], Directive)
+        assert record.terms[0].text == "ipv4:192.0.2.1"
+
+    def test_valid_record_identical_in_both_modes(self):
+        strict = parse_record("v=spf1 a mx -all")
+        tolerant = parse_record("v=spf1 a mx -all", tolerant=True)
+        assert strict.terms == tolerant.terms
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "v=spf1 ip4:192.0.2.1/32 a:bar.foo.com include:foo.net -all",
+            "v=spf1 mx/24 ~all",
+            "v=spf1 exists:%{i}.spf.example.org ?all",
+            "v=spf1 redirect=_spf.example.com",
+        ],
+    )
+    def test_to_text_reparses_identically(self, text):
+        record = parse_record(text)
+        assert parse_record(record.to_text()).terms == record.terms

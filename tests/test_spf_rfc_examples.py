@@ -1,0 +1,114 @@
+"""SPF conformance scenarios modeled on RFC 7208 Appendix A.
+
+The appendix walks a family of example.com policies (mx with multiple
+exchanges, 'a' with a CIDR suffix, include across hosts, open '+all',
+cross-domain 'a:'); this module reproduces that zone and asserts the
+results the specification derives for each sender address.
+"""
+
+import pytest
+
+from repro.dns.rdata import ARecord, MxRecord, TxtRecord
+from repro.spf import SpfEvaluator, SpfResult
+from tests.helpers import World
+
+
+@pytest.fixture(scope="module")
+def world():
+    world = World(seed=404)
+    zone = world.zone("example.com")
+    # The Appendix A zone, lightly transcribed.
+    zone.add("example.com", TxtRecord("v=spf1 +mx a:colo.example.com/28 -all"))
+    zone.add("amy.example.com", TxtRecord("v=spf1 a -all"))
+    zone.add("bob.example.com", TxtRecord("v=spf1 a:mailers.example.com -all"))
+    zone.add("joel.example.com", TxtRecord("v=spf1 include:example.com -all"))
+    zone.add("hackers.example.com", TxtRecord("v=spf1 +all"))
+    zone.add("moo.example.com", TxtRecord("v=spf1 a:example.com -all"))
+    zone.add("example.com", MxRecord(10, "mail-a.example.com"))
+    zone.add("example.com", MxRecord(20, "mail-b.example.com"))
+    zone.add("example.com", ARecord("192.0.2.10"))
+    zone.add("example.com", ARecord("192.0.2.11"))
+    zone.add("amy.example.com", ARecord("192.0.2.65"))
+    zone.add("bob.example.com", ARecord("192.0.2.66"))
+    zone.add("mail-a.example.com", ARecord("192.0.2.129"))
+    zone.add("mail-b.example.com", ARecord("192.0.2.130"))
+    zone.add("mailers.example.com", ARecord("192.0.2.129"))
+    zone.add("mailers.example.com", ARecord("192.0.2.130"))
+    zone.add("colo.example.com", ARecord("192.0.2.140"))
+    return world
+
+
+def check(world, ip, domain):
+    evaluator = SpfEvaluator(world.resolver())
+    return evaluator.check_host(ip, domain, "sender@%s" % domain).result
+
+
+class TestMainPolicy:
+    """example.com: 'v=spf1 +mx a:colo.example.com/28 -all'."""
+
+    @pytest.mark.parametrize("ip", ["192.0.2.129", "192.0.2.130"])
+    def test_mx_hosts_pass(self, world, ip):
+        assert check(world, ip, "example.com") is SpfResult.PASS
+
+    def test_colo_block_passes_via_cidr(self, world):
+        # colo resolves to .140; /28 covers .128-.143, and the client .135
+        # falls inside the same network as the A record.
+        assert check(world, "192.0.2.135", "example.com") is SpfResult.PASS
+
+    def test_own_a_records_do_not_authorize(self, world):
+        # The policy has no bare 'a'; the web servers cannot send mail.
+        assert check(world, "192.0.2.10", "example.com") is SpfResult.FAIL
+
+    def test_outside_address_fails(self, world):
+        assert check(world, "192.0.2.200", "example.com") is SpfResult.FAIL
+
+
+class TestPerUserPolicies:
+    def test_amy_sends_from_her_own_host(self, world):
+        assert check(world, "192.0.2.65", "amy.example.com") is SpfResult.PASS
+
+    def test_amy_cannot_send_from_bobs_host(self, world):
+        assert check(world, "192.0.2.66", "amy.example.com") is SpfResult.FAIL
+
+    def test_bob_sends_via_the_mailers(self, world):
+        assert check(world, "192.0.2.129", "bob.example.com") is SpfResult.PASS
+        assert check(world, "192.0.2.130", "bob.example.com") is SpfResult.PASS
+
+    def test_bob_cannot_send_from_his_own_host(self, world):
+        # bob's policy names mailers.example.com, not his own A record.
+        assert check(world, "192.0.2.66", "bob.example.com") is SpfResult.FAIL
+
+
+class TestIncludeAndOpenPolicies:
+    def test_joel_inherits_example_com_senders(self, world):
+        assert check(world, "192.0.2.129", "joel.example.com") is SpfResult.PASS
+
+    def test_joel_rejects_other_senders(self, world):
+        assert check(world, "192.0.2.65", "joel.example.com") is SpfResult.FAIL
+
+    def test_hackers_pass_everything(self, world):
+        for ip in ("192.0.2.1", "203.0.113.99", "198.51.100.77"):
+            assert check(world, ip, "hackers.example.com") is SpfResult.PASS
+
+    def test_moo_authorizes_example_com_web_hosts(self, world):
+        # moo's 'a:example.com' points at the A records .10/.11.
+        assert check(world, "192.0.2.10", "moo.example.com") is SpfResult.PASS
+        assert check(world, "192.0.2.129", "moo.example.com") is SpfResult.FAIL
+
+
+class TestDnsEconomy:
+    def test_ip_literal_needs_one_lookup(self, world):
+        zone = world.server.zones[0]
+        zone.add("lit.example.com", TxtRecord("v=spf1 ip4:192.0.2.0/24 -all"))
+        evaluator = SpfEvaluator(world.resolver())
+        outcome = evaluator.check_host("192.0.2.5", "lit.example.com", "s@lit.example.com")
+        assert outcome.result is SpfResult.PASS
+        assert len(outcome.lookups) == 1  # the policy TXT only
+
+    def test_mx_walk_counts_each_exchange(self, world):
+        evaluator = SpfEvaluator(world.resolver())
+        outcome = evaluator.check_host("192.0.2.130", "example.com", "s@example.com")
+        qnames = [record.qname for record in outcome.lookups]
+        # mail-a (pref 10) is resolved before mail-b (pref 20) matches.
+        assert "mail-a.example.com" in qnames
+        assert qnames.index("mail-a.example.com") < qnames.index("mail-b.example.com")
