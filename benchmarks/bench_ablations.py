@@ -16,8 +16,6 @@ Three quantified recommendations:
   query amplification without a cache.
 """
 
-import pytest
-
 from benchmarks.conftest import emit
 from repro.core.synth import SynthConfig, SynthesizingAuthority
 from repro.dns.rdata import ARecord, SoaRecord, TxtRecord

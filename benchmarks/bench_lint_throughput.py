@@ -1,0 +1,57 @@
+"""Throughput benches for the static analyzer.
+
+The lint pass is meant to be cheap enough to run as a campaign pre-flight
+and over large zone corpora; these benches keep it honest by measuring
+zones audited per second (graph walk included) and the cost of the full
+39-policy pre-flight.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.policies import POLICIES
+from repro.core.preflight import preflight_policies
+from repro.dns.rdata import ARecord, TxtRecord
+from repro.dns.zone import Zone
+from repro.lint import audit_zone
+
+
+def _make_zone(index):
+    """A realistic small deployment: an include chain, an MX, a DMARC."""
+    origin = "zone%03d.example" % index
+    zone = Zone(origin)
+    zone.add(origin, TxtRecord("v=spf1 include:spf.%s a:mail.%s -all" % (origin, origin)))
+    zone.add("spf." + origin, TxtRecord("v=spf1 ip4:203.0.113.%d/32 ?all" % (index % 250 + 1)))
+    zone.add("mail." + origin, ARecord("203.0.113.%d" % (index % 250 + 1)))
+    zone.add("_dmarc." + origin, TxtRecord("v=DMARC1; p=quarantine"))
+    zone.add("s1._domainkey." + origin, TxtRecord("v=DKIM1; p=QUJD"))
+    return zone
+
+
+@pytest.fixture(scope="module")
+def zones():
+    return [_make_zone(index) for index in range(200)]
+
+
+def test_bench_zone_audit(benchmark, zones):
+    def audit_all():
+        return [audit_zone(zone) for zone in zones]
+
+    audits = benchmark.pedantic(audit_all, rounds=5, iterations=1)
+    assert all(audit.spf_audits for audit in audits)
+    per_second = len(zones) / benchmark.stats.stats.mean
+    emit(
+        "lint: zone audit throughput",
+        "%d zones audited in %.4fs mean -> %.0f zones/s"
+        % (len(zones), benchmark.stats.stats.mean, per_second),
+    )
+
+
+def test_bench_policy_preflight(benchmark):
+    audits = benchmark.pedantic(lambda: preflight_policies(POLICIES), rounds=5, iterations=1)
+    assert len(audits) == len(POLICIES)
+    emit(
+        "lint: 39-policy preflight",
+        "full static pre-flight of %d policies in %.4fs mean"
+        % (len(POLICIES), benchmark.stats.stats.mean),
+    )

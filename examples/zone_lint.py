@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Statically audit a zone's sender-validation posture (no resolution).
+
+Builds two sender deployments — a textbook one and a booby-trapped one
+whose SPF graph hides an include loop, a void-lookup bomb, and a DMARC
+record that never protects — and runs the ``repro.lint`` static analyzer
+over both.  Nothing is resolved: the analyzer reads the zone data
+directly and predicts what an RFC 7208 validator would pay and decide.
+
+Run:  python examples/zone_lint.py
+"""
+
+from repro.dns import TxtRecord, Zone
+from repro.dns.rdata import ARecord, MxRecord
+from repro.lint import audit_zone
+
+
+def build_textbook():
+    zone = Zone("textbook.example")
+    zone.add("textbook.example", TxtRecord("v=spf1 mx ip4:203.0.113.0/28 -all"))
+    zone.add("textbook.example", MxRecord(10, "mx.textbook.example"))
+    zone.add("mx.textbook.example", ARecord("203.0.113.1"))
+    zone.add("mail._domainkey.textbook.example", TxtRecord("v=DKIM1; k=rsa; p=QUJD"))
+    zone.add("_dmarc.textbook.example", TxtRecord("v=DMARC1; p=reject; rua=mailto:d@textbook.example"))
+    return zone
+
+
+def build_trapped():
+    zone = Zone("trapped.example")
+    zone.add(
+        "trapped.example",
+        TxtRecord(
+            "v=spf1 include:loop.trapped.example a:gone1.trapped.example "
+            "a:gone2.trapped.example a:gone3.trapped.example ?all"
+        ),
+    )
+    # The include re-enters the parent: a validator spins until the
+    # 10-lookup limit and returns permerror.
+    zone.add("loop.trapped.example", TxtRecord("v=spf1 include:trapped.example ?all"))
+    # gone1..gone3 do not exist: three void lookups against a limit of two.
+    zone.add("_dmarc.trapped.example", TxtRecord("v=DMARC1; p=none; pct=10"))
+    return zone
+
+
+def main():
+    for zone in (build_textbook(), build_trapped()):
+        audit = audit_zone(zone)
+        print("=" * 64)
+        for domain, spf in sorted(audit.spf_audits.items()):
+            prediction = spf.prediction
+            verdict = prediction.first_abort or "within limits"
+            print(
+                "%s: %d lookup term(s), %d void(s), %s"
+                % (domain, prediction.lookup_terms, prediction.void_lookups, verdict)
+            )
+        print(audit.report.render_text(header="zone %s:" % audit.origin))
+    print("=" * 64)
+    trapped = audit_zone(build_trapped())
+    print(trapped.report.to_json())
+
+
+if __name__ == "__main__":
+    main()

@@ -21,7 +21,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.datasets import Domain, MtaHost, Universe
-from repro.core.policies import POLICIES
+from repro.core.policies import POLICIES, policy_by_id
+from repro.core.preflight import preflight_policies
 from repro.core.probe import ProbeClient, ProbeResult
 from repro.core.querylog import AttributedQuery, QueryIndex, attribute_queries
 from repro.core.synth import SynthConfig, SynthesizingAuthority
@@ -237,6 +238,7 @@ class ProbeCampaign:
         stagger: float = 1.0,
         start_time: float = 0.0,
         seed: int = 0,
+        preflight: bool = True,
     ) -> None:
         self.testbed = testbed
         self.name = name
@@ -244,6 +246,17 @@ class ProbeCampaign:
         self.stagger = stagger
         self.start_time = start_time
         self.seed = seed
+        # Static pre-flight: audit every selected policy's SPF graph before
+        # probing anything.  Purely offline — it reads the policies' record
+        # maps through repro.lint, issues zero simulated DNS queries, and
+        # therefore cannot perturb the query log the analyses are built on.
+        # Pathological findings are the point of the policies; only a policy
+        # publishing no SPF record at all aborts (PreflightError).
+        self.preflight_audits = (
+            preflight_policies(policy_by_id(testid) for testid in self.testids)
+            if preflight
+            else {}
+        )
         self.probe = ProbeClient(
             testbed.network, testbed.synth_config, sleep_seconds=sleep_seconds
         )

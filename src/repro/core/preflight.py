@@ -1,0 +1,111 @@
+"""Static pre-flight auditing of test policies.
+
+Before a campaign starts probing, it can cheaply verify that every test
+policy it is about to deploy actually publishes an analyzable L0 SPF
+record — the static equivalent of the paper authors eyeballing their
+zone before burning two weeks of measurement time.  The audit runs the
+:mod:`repro.lint` term-graph analysis over each policy's declarative
+record map through a :class:`PolicyRecordSource`, so **zero simulated DNS
+queries** are issued: the campaign's query log, which every analysis in
+:mod:`repro.core.analysis` is derived from, is untouched.
+
+Policies are *designed* to be pathological (cycles, 46-lookup trees,
+syntax errors), so findings are expected and never fatal; only a policy
+with no SPF record at its base name — which would make its probe measure
+nothing at all — raises :class:`PreflightError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.core.policies import PolicyContext, TestPolicy
+from repro.dns.name import Name
+from repro.dns.rdata import RdataType
+from repro.lint.source import RecordSource, SourceAnswer, SourceStatus
+from repro.lint.spfgraph import SpfAudit, SpfLimits, audit_spf_domain
+
+
+class PreflightError(Exception):
+    """A test policy cannot possibly measure anything."""
+
+
+class PolicyRecordSource(RecordSource):
+    """Adapts a :class:`TestPolicy`'s declarative record map to the static
+    analyzer's :class:`RecordSource` interface.
+
+    Names under the policy's base (or IPv6 base) are answered by the same
+    ``respond`` method the synthesizing DNS server uses — so the analyzer
+    sees byte-for-byte the records a validator would, minus the wire.
+    Everything else is UNKNOWN: a policy has no opinion about the rest of
+    the Internet.
+    """
+
+    def __init__(self, policy: TestPolicy, ctx: PolicyContext) -> None:
+        self.policy = policy
+        self.ctx = ctx
+        self._bases: List[Name] = [Name(ctx.base)]
+        if ctx.v6_base:
+            self._bases.append(Name(ctx.v6_base))
+
+    def fetch(self, name: Union[str, Name], rdtype: RdataType) -> SourceAnswer:
+        owner = Name(name)
+        for base in self._bases:
+            if owner.is_subdomain_of(base):
+                sub = tuple(label.lower() for label in owner.relativize(base))
+                response = self.policy.respond(sub, rdtype, self.ctx)
+                if response.nxdomain:
+                    return SourceAnswer(SourceStatus.NXDOMAIN)
+                if not response.records:
+                    return SourceAnswer(SourceStatus.NODATA)
+                return SourceAnswer(SourceStatus.FOUND, response.records)
+        return SourceAnswer(SourceStatus.UNKNOWN)
+
+
+def preflight_context(policy: TestPolicy, suffix: str = "preflight.invalid") -> PolicyContext:
+    """A throwaway context: preflight needs *some* absolute names to walk,
+    and any placeholder MTA identity will do."""
+    base = "%s.mta0.%s" % (policy.testid, suffix)
+    return PolicyContext(
+        base=base,
+        mtaid="mta0",
+        testid=policy.testid,
+        v6_base="%s.mta0.v6.%s" % (policy.testid, suffix),
+        helo_base="helo.%s" % suffix,
+    )
+
+
+def audit_policy(
+    policy: TestPolicy,
+    ctx: Optional[PolicyContext] = None,
+    limits: Optional[SpfLimits] = None,
+) -> Optional[SpfAudit]:
+    """Statically audit one policy's SPF graph; None if it publishes no SPF."""
+    if ctx is None:
+        ctx = preflight_context(policy)
+    return audit_spf_domain(ctx.base, PolicyRecordSource(policy, ctx), limits)
+
+
+def preflight_policies(
+    policies: Iterable[TestPolicy],
+    limits: Optional[SpfLimits] = None,
+) -> Dict[str, SpfAudit]:
+    """Audit every policy; raise :class:`PreflightError` for unmeasurable ones.
+
+    Returns the per-``testid`` audits so callers (and curious operators)
+    can inspect predicted lookup counts and diagnostics.
+    """
+    audits: Dict[str, SpfAudit] = {}
+    missing: List[Tuple[str, str]] = []
+    for policy in policies:
+        audit = audit_policy(policy, limits=limits)
+        if audit is None:
+            missing.append((policy.testid, policy.name))
+            continue
+        audits[policy.testid] = audit
+    if missing:
+        raise PreflightError(
+            "policies publish no L0 SPF record: %s"
+            % ", ".join("%s (%s)" % pair for pair in missing)
+        )
+    return audits

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -32,6 +31,7 @@ from repro.core.campaign import (
 from repro.core.datasets import DatasetSpec, generate_universe
 from repro.core.fingerprint import fingerprint_fleet
 from repro.core.report import render_histogram
+from repro.net.clock import wall_now
 
 EXPERIMENTS = ("notifyemail", "notifymx", "twoweekmx")
 
@@ -60,12 +60,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     wanted = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     say = (lambda *a: None) if args.quiet else print
 
-    started = time.time()
+    started = wall_now()
     if "notifyemail" in wanted or "notifymx" in wanted:
         _run_notify_family(args, wanted, say)
     if "twoweekmx" in wanted:
         _run_twoweekmx(args, say)
-    say("all done in %.1f s -> %s" % (time.time() - started, args.out))
+    say("all done in %.1f s -> %s" % (wall_now() - started, args.out))
     return 0
 
 

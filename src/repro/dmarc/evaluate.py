@@ -17,7 +17,6 @@ from typing import Optional, Tuple
 from repro.dmarc.psl import PublicSuffixList
 from repro.dmarc.record import (
     AlignmentMode,
-    DmarcPolicy,
     DmarcRecord,
     DmarcRecordError,
     looks_like_dmarc,

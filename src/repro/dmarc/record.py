@@ -38,6 +38,9 @@ class DmarcRecord:
     percent: int = 100
     rua: List[str] = field(default_factory=list)
     ruf: List[str] = field(default_factory=list)
+    #: Tags outside the RFC 7489 registry, preserved for diagnostics
+    #: (validators ignore them; ``repro.lint`` reports them as DMARC008).
+    unknown_tags: Dict[str, str] = field(default_factory=dict)
 
     def to_text(self) -> str:
         parts = ["v=DMARC1", "p=%s" % self.policy.value]
@@ -78,6 +81,7 @@ class DmarcRecord:
             record.rua = [uri.strip() for uri in tags["rua"].split(",") if uri.strip()]
         if "ruf" in tags:
             record.ruf = [uri.strip() for uri in tags["ruf"].split(",") if uri.strip()]
+        record.unknown_tags = {k: v for k, v in tags.items() if k not in _KNOWN_TAGS}
         return record
 
     def effective_policy(self, is_subdomain: bool) -> DmarcPolicy:
@@ -85,6 +89,11 @@ class DmarcRecord:
         if is_subdomain and self.subdomain_policy is not None:
             return self.subdomain_policy
         return self.policy
+
+
+#: The RFC 7489 section 6.3 tag registry (``fo``/``rf``/``ri`` are parsed
+#: by real validators even though this model does not act on them).
+_KNOWN_TAGS = frozenset({"v", "p", "sp", "adkim", "aspf", "fo", "pct", "rf", "ri", "rua", "ruf"})
 
 
 def looks_like_dmarc(text: str) -> bool:

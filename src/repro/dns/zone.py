@@ -91,6 +91,19 @@ class Zone:
             return LookupStatus.NODATA, []
         return LookupStatus.NXDOMAIN, []
 
+    def rrsets(self) -> Iterable[Tuple[Name, RdataType, List[ResourceRecord]]]:
+        """Iterate every rrset as ``(owner, rdtype, records)``.
+
+        Order is deterministic (hierarchical owner order, then rdtype), so
+        auditors and serializers built on it produce stable output.
+        """
+        items = sorted(
+            self._records.items(),
+            key=lambda item: (tuple(reversed(item[0][0])), item[0][1].value),
+        )
+        for (_, rdtype), records in items:
+            yield records[0].name, rdtype, list(records)
+
     @property
     def soa(self) -> Optional[ResourceRecord]:
         records = self._records.get((self.origin.key, RdataType.SOA))

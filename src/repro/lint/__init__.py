@@ -1,0 +1,57 @@
+"""Static analysis of sender-validation configuration.
+
+The paper measures what validators *do* with SPF policies; this package
+predicts it without resolving anything.  It walks parsed SPF/DMARC
+records and whole :class:`~repro.dns.zone.Zone` objects, follows
+``include:``/``redirect=`` edges through a :class:`RecordSource`, and
+reports findings as stable-coded :class:`Diagnostic` objects — including
+the worst-case RFC 7208 lookup/void counts, verified against the dynamic
+:class:`~repro.spf.evaluator.SpfEvaluator` on all 39 test policies.
+
+Entry points:
+
+* :func:`audit_record_text` / :func:`audit_spf_domain` — one SPF policy;
+* :func:`audit_zone` — every SPF/DMARC publisher in a zone;
+* :func:`repro.lint.astcheck.check_source_tree` — the repository's own
+  determinism invariants;
+* ``python -m repro.lint`` — all of the above from the command line.
+"""
+
+from repro.lint.diagnostics import RULES, Diagnostic, LintReport, Severity, Span
+from repro.lint.source import (
+    DictRecordSource,
+    EmptySource,
+    RecordSource,
+    SourceAnswer,
+    SourceStatus,
+    ZoneRecordSource,
+)
+from repro.lint.spfgraph import (
+    SpfAudit,
+    SpfLimits,
+    StaticPrediction,
+    audit_record_text,
+    audit_spf_domain,
+)
+from repro.lint.zonelint import ZoneAudit, audit_zone
+
+__all__ = [
+    "RULES",
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "Span",
+    "RecordSource",
+    "SourceAnswer",
+    "SourceStatus",
+    "ZoneRecordSource",
+    "DictRecordSource",
+    "EmptySource",
+    "SpfAudit",
+    "SpfLimits",
+    "StaticPrediction",
+    "audit_record_text",
+    "audit_spf_domain",
+    "ZoneAudit",
+    "audit_zone",
+]

@@ -1,0 +1,241 @@
+"""Command-line front end: ``python -m repro.lint``.
+
+Subcommands::
+
+    python -m repro.lint record 'v=spf1 include:a.example.com -all'
+    python -m repro.lint zone records.txt --origin example.com
+    python -m repro.lint policies [t02 t18 ...]
+    python -m repro.lint rules
+    python -m repro.lint --self-check
+
+``zone`` reads a minimal three-column record file (see ``_load_zone``);
+``policies`` audits the paper's 39 test policies statically;
+``--self-check`` runs the AST invariant checker over this very package.
+``--json`` switches any subcommand's output to JSON.  Exit status is 1
+when any ERROR-severity finding (or self-check violation) is reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.dns.rdata import AAAARecord, ARecord, CnameRecord, MxRecord, Rdata, TxtRecord
+from repro.dns.zone import Zone
+from repro.lint.astcheck import check_source_tree
+from repro.lint.diagnostics import RULES
+from repro.lint.spfgraph import SpfAudit, audit_record_text
+from repro.lint.zonelint import audit_zone
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Static analyzer for SPF/DMARC configuration (no resolution).",
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    parser.add_argument(
+        "--self-check",
+        action="store_true",
+        dest="self_check",
+        help="check the repro package's own determinism invariants",
+    )
+    commands = parser.add_subparsers(dest="command")
+
+    record = commands.add_parser("record", help="audit one SPF record text")
+    record.add_argument("text", help="the record, e.g. 'v=spf1 mx -all'")
+    record.add_argument("--domain", default="", help="domain the record is published at")
+
+    zone = commands.add_parser(
+        "zone",
+        help="audit every SPF/DMARC publisher in a record file",
+        description="File format: one 'name TYPE value' per line; '#' comments; "
+        "'@' for the origin; TXT values may be double-quoted; MX values are "
+        "'preference exchange'.",
+    )
+    zone.add_argument("path", type=Path)
+    zone.add_argument("--origin", required=True, help="zone origin, e.g. example.com")
+
+    policies = commands.add_parser("policies", help="audit the paper's 39 test policies")
+    policies.add_argument("testids", nargs="*", help="restrict to these testids (default: all)")
+
+    commands.add_parser("rules", help="list every rule code the analyzers can fire")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.self_check:
+        return _cmd_self_check(args)
+    if args.command == "record":
+        return _cmd_record(args)
+    if args.command == "zone":
+        return _cmd_zone(args)
+    if args.command == "policies":
+        return _cmd_policies(args)
+    if args.command == "rules":
+        return _cmd_rules(args)
+    build_parser().print_help()
+    return 2
+
+
+# -- subcommands ---------------------------------------------------------
+
+
+def _cmd_record(args) -> int:
+    audit = audit_record_text(args.text, domain=args.domain)
+    if args.json:
+        print(json.dumps(_audit_dict(audit), indent=2, sort_keys=True))
+    else:
+        print(audit.report.render_text(header=_prediction_line(audit)))
+    return 1 if audit.report.errors else 0
+
+
+def _cmd_zone(args) -> int:
+    try:
+        zone = _load_zone(args.path, args.origin)
+    except (OSError, ValueError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    audit = audit_zone(zone)
+    if args.json:
+        payload = {
+            "origin": audit.origin,
+            "findings": [d.to_dict() for d in audit.report.diagnostics],
+            "spf": {domain: _audit_dict(a) for domain, a in sorted(audit.spf_audits.items())},
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        lines = ["zone %s: %d SPF publisher(s)" % (audit.origin, len(audit.spf_audits))]
+        for domain, spf_audit in sorted(audit.spf_audits.items()):
+            lines.append("  " + _prediction_line(spf_audit))
+        lines.append(audit.report.render_text())
+        print("\n".join(lines))
+    return 1 if audit.report.errors else 0
+
+
+def _cmd_policies(args) -> int:
+    # Imported here: the analyzers must stay importable without the
+    # measurement harness, but this subcommand is explicitly about it.
+    from repro.core.policies import POLICIES
+    from repro.core.preflight import audit_policy
+
+    policies = [p for p in POLICIES if not args.testids or p.testid in args.testids]
+    if not policies:
+        print("error: no such testid (try: %s ...)" % POLICIES[0].testid, file=sys.stderr)
+        return 2
+    payload = {}
+    exit_code = 0
+    for policy in policies:
+        audit = audit_policy(policy)
+        if audit is None:
+            print("%s: no SPF record" % policy.testid, file=sys.stderr)
+            exit_code = 1
+            continue
+        payload[policy.testid] = _audit_dict(audit)
+        if not args.json:
+            print("%s (%s)" % (policy.testid, policy.name))
+            print("  " + _prediction_line(audit))
+            for diagnostic in audit.report.diagnostics:
+                print("  " + diagnostic.format())
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    return exit_code
+
+
+def _cmd_rules(args) -> int:
+    if args.json:
+        payload = {
+            code: {"severity": severity.name.lower(), "title": title}
+            for code, (severity, title) in RULES.items()
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for code, (severity, title) in RULES.items():
+        print("%-9s %-8s %s" % (code, severity.name.lower(), title))
+    return 0
+
+
+def _cmd_self_check(args) -> int:
+    report = check_source_tree()
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render_text(header="self-check: repro package invariants"))
+    return 1 if report.diagnostics else 0
+
+
+# -- helpers -------------------------------------------------------------
+
+
+def _prediction_line(audit: SpfAudit) -> str:
+    prediction = audit.prediction
+    parts = [
+        "%s:" % (audit.domain or "record"),
+        "%d lookup term(s), %d void(s)" % (prediction.lookup_terms, prediction.void_lookups),
+    ]
+    if prediction.first_abort:
+        parts.append("aborts with %s" % prediction.first_abort)
+    if prediction.result is not None:
+        parts.append("-> %s" % prediction.result.value)
+    if not prediction.complete:
+        parts.append("(lower bound: targets outside audited data)")
+    return " ".join(parts)
+
+
+def _audit_dict(audit: SpfAudit) -> dict:
+    prediction = audit.prediction
+    return {
+        "domain": audit.domain,
+        "record": audit.record_text,
+        "prediction": {
+            "lookup_terms": prediction.lookup_terms,
+            "void_lookups": prediction.void_lookups,
+            "first_abort": prediction.first_abort,
+            "result": prediction.result.value if prediction.result else None,
+            "cycle": prediction.cycle,
+            "complete": prediction.complete,
+        },
+        "findings": [d.to_dict() for d in audit.report.diagnostics],
+    }
+
+
+def _load_zone(path: Path, origin: str) -> Zone:
+    """Read a three-column ``name TYPE value`` record file into a Zone."""
+    zone = Zone(origin)
+    for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            name, rtype, value = line.split(None, 2)
+        except ValueError:
+            raise ValueError("%s:%d: expected 'name TYPE value'" % (path, lineno)) from None
+        owner = origin if name == "@" else (name if name.endswith(".") else "%s.%s" % (name, origin))
+        try:
+            zone.add(owner, _parse_rdata(rtype.upper(), value))
+        except ValueError as exc:
+            raise ValueError("%s:%d: %s" % (path, lineno, exc)) from None
+    return zone
+
+
+def _parse_rdata(rtype: str, value: str) -> Rdata:
+    if rtype == "TXT":
+        return TxtRecord(value.strip('"'))
+    if rtype == "A":
+        return ARecord(value)
+    if rtype == "AAAA":
+        return AAAARecord(value)
+    if rtype == "MX":
+        preference, _, exchange = value.partition(" ")
+        return MxRecord(int(preference), exchange.strip())
+    if rtype == "CNAME":
+        return CnameRecord(value)
+    raise ValueError("unsupported record type %r" % rtype)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""Repository invariant checking over Python ASTs.
+
+The reproduction's core bet is determinism: every run of the simulated
+measurement produces identical results because *all* time flows through
+the virtual :class:`~repro.net.clock.Clock` and *all* networking through
+the simulated :class:`~repro.net.network.Network`.  Those invariants are
+easy to break with one careless ``time.time()`` — so this module walks
+the ASTs of the source tree and enforces them mechanically:
+
+* **AST001** — wall-clock reads (``time.time``, ``datetime.now``, ...)
+  anywhere except ``net/clock.py``, the one sanctioned bridge to real
+  time (used only for human-facing log stamps, never for simulation).
+* **AST002** — ``import socket`` outside ``net/``: simulation code must
+  not be able to reach the real Internet.
+* **AST003** — bare ``except:`` clauses, which swallow the control-flow
+  exceptions the evaluator uses for its abort semantics.
+
+``check_source_tree`` runs as a tier-1 test (``tests/test_lint_astcheck.py``)
+and via ``python -m repro.lint --self-check``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.lint.diagnostics import LintReport
+
+#: Call targets (as dotted suffixes, aliases resolved) that read the real
+#: clock or block on it.  ``datetime.datetime.now`` matches the
+#: ``datetime.now`` suffix; method calls like ``self.clock.now`` do not.
+WALL_CLOCK_CALLS = (
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.sleep",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+#: Path suffixes (POSIX form, relative to the scanned tree) where wall-clock
+#: reads are sanctioned.  ``net/clock.py`` is the virtual clock itself.
+WALL_CLOCK_ALLOWED = ("net/clock.py",)
+
+#: Top-level directories (relative to the scanned tree) where importing the
+#: real ``socket`` module is sanctioned.
+SOCKET_ALLOWED_DIRS = ("net",)
+
+
+def check_source_tree(tree: Optional[Path] = None) -> LintReport:
+    """Check every ``*.py`` under ``tree`` (default: this installed package)."""
+    if tree is None:
+        tree = Path(__file__).resolve().parent.parent  # src/repro
+    report = LintReport()
+    for path in sorted(tree.rglob("*.py")):
+        check_file(path, path.relative_to(tree).as_posix(), report)
+    return report
+
+
+def check_file(path: Path, relpath: str, report: LintReport) -> None:
+    """Check one file; findings use ``relpath`` as the subject."""
+    try:
+        source = path.read_text(encoding="utf-8")
+        module = ast.parse(source, filename=relpath)
+    except (OSError, SyntaxError, ValueError) as exc:
+        report.add("AST000", str(exc), subject=relpath)
+        return
+    _FileChecker(relpath, report).visit(module)
+
+
+class _FileChecker(ast.NodeVisitor):
+    def __init__(self, relpath: str, report: LintReport) -> None:
+        self.relpath = relpath
+        self.report = report
+        self.clock_allowed = relpath.endswith(WALL_CLOCK_ALLOWED)
+        first_dir = relpath.split("/")[0] if "/" in relpath else ""
+        self.socket_allowed = first_dir in SOCKET_ALLOWED_DIRS
+        #: local name -> dotted origin, from imports (``from time import time``
+        #: binds ``time`` -> ``time.time``).
+        self.aliases: Dict[str, str] = {}
+
+    def _where(self, node: ast.AST) -> str:
+        return "%s:%d" % (self.relpath, getattr(node, "lineno", 0))
+
+    # -- imports ---------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            self.aliases[local] = alias.name if alias.asname else alias.name.split(".")[0]
+            self._check_socket_import(alias.name, node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self.aliases[alias.asname or alias.name] = node.module + "." + alias.name
+            self._check_socket_import(node.module, node)
+        self.generic_visit(node)
+
+    def _check_socket_import(self, module: str, node: ast.AST) -> None:
+        if module.split(".")[0] == "socket" and not self.socket_allowed:
+            self.report.add(
+                "AST002",
+                "import of %r outside net/" % module,
+                subject=self._where(node),
+                hint="route traffic through repro.net.network",
+            )
+
+    # -- calls -----------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self._resolve(node.func)
+        if dotted is not None and not self.clock_allowed:
+            for banned in WALL_CLOCK_CALLS:
+                if dotted == banned or dotted.endswith("." + banned):
+                    self.report.add(
+                        "AST001",
+                        "%s() reads the wall clock" % dotted,
+                        subject=self._where(node),
+                        hint="take time from the Clock (or net.clock.wall_now for log stamps)",
+                    )
+                    break
+        self.generic_visit(node)
+
+    def _resolve(self, func: ast.AST) -> Optional[str]:
+        parts = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    # -- exception handling ----------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report.add(
+                "AST003",
+                "bare 'except:' also catches the evaluator's control-flow exceptions",
+                subject=self._where(node),
+                hint="catch Exception (or something narrower)",
+            )
+        self.generic_visit(node)
+
+
+def iter_violations(tree: Optional[Path] = None) -> Iterable[Tuple[str, str]]:
+    """Convenience: yield ``(code, subject)`` pairs for quick assertions."""
+    for diagnostic in check_source_tree(tree).diagnostics:
+        yield diagnostic.code, diagnostic.subject

@@ -1,0 +1,597 @@
+"""Static SPF term-graph analysis (no resolution).
+
+``audit_spf_domain`` walks an SPF policy the way an RFC-strict
+``check_host`` would — following ``include:`` and ``redirect=`` edges
+through a :class:`~repro.lint.source.RecordSource`, charging the same
+counters at the same points — but reads record data instead of issuing
+DNS queries.  The result is a :class:`StaticPrediction`: the worst-case
+DNS-lookup and void-lookup counts a validator will pay, which RFC 7208
+section 4.6.4 limit (if any) a compliant validator hits first, and the
+final result when it is statically decidable (``permerror`` conditions,
+``all``/``exists`` matches).
+
+"Worst case" means the designed-to-fail traversal: no IP-dependent
+mechanism matches, so evaluation reaches every reachable term.  That is
+exactly the path the paper's probes force (the authorized address is
+never the probe's), which is why the prediction agrees term-for-term
+with :class:`~repro.spf.evaluator.SpfEvaluator` on the 39 test policies
+— asserted in ``tests/test_lint_spf.py``.
+
+Counter placement mirrors the evaluator precisely:
+
+* every ``include``/``a``/``mx``/``ptr``/``exists`` directive and the
+  ``redirect=`` modifier charges one mechanism lookup *before* anything
+  else happens (the 11th charge is the ``lookup_limit`` abort);
+* every ``a``/``mx``/``exists`` *target* resolution is preceded by a void
+  budget check (aborts once two voids have accrued) and followed by void
+  accounting;
+* an ``mx`` target's exchanges charge one address resolution each, with
+  the 11th exchange being the ``mx_limit`` abort;
+* include cycles spin until the lookup limit, so they predict
+  ``lookup_limit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.dns.rdata import RdataType
+from repro.lint.diagnostics import LintReport, Span
+from repro.lint.source import EmptySource, RecordSource, SourceStatus
+from repro.spf.errors import SpfSyntaxError
+from repro.spf.parser import parse_record
+from repro.spf.result import QUALIFIER_RESULTS, SpfResult
+from repro.spf.terms import (
+    Directive,
+    MechanismKind,
+    Modifier,
+    SpfRecord,
+    looks_like_spf,
+)
+
+#: Record sizes above this risk UDP truncation without EDNS0 (512-octet
+#: classic ceiling minus headers/question overhead).
+_TRUNCATION_RISK_OCTETS = 450
+
+
+@dataclass
+class SpfLimits:
+    """The RFC 7208 section 4.6.4 processing limits, as knobs."""
+
+    max_lookups: int = 10
+    max_voids: int = 2
+    max_mx: int = 10
+    near_lookups: int = 7  # warn above this, error above max_lookups
+    max_depth: int = 40  # analyzer recursion bound, above any sane policy
+
+
+@dataclass
+class StaticPrediction:
+    """What a strict validator will do with a policy, decided statically."""
+
+    lookup_terms: int = 0  # worst-case mechanism lookups (full traversal)
+    void_lookups: int = 0  # worst-case void lookups
+    #: First statically-certain abort in evaluation order, or None:
+    #: "lookup_limit" | "void_limit" | "mx_limit" | "permerror:<why>".
+    first_abort: Optional[str] = None
+    #: Final result when statically decidable (permerror conditions,
+    #: ``all``/``exists`` matches); None when it depends on the client IP.
+    result: Optional[SpfResult] = None
+    cycle: bool = False
+    #: False when UNKNOWN targets made the counts lower bounds.
+    complete: bool = True
+
+    @property
+    def exceeds_limits(self) -> bool:
+        return self.first_abort in ("lookup_limit", "void_limit", "mx_limit")
+
+    @property
+    def statically_permerror(self) -> bool:
+        return self.first_abort is not None
+
+
+@dataclass
+class SpfAudit:
+    """One audited SPF policy: findings plus the strict-validator forecast."""
+
+    domain: str
+    record_text: Optional[str]
+    report: LintReport = field(default_factory=LintReport)
+    prediction: StaticPrediction = field(default_factory=StaticPrediction)
+
+
+def audit_record_text(
+    text: str,
+    domain: str = "",
+    source: Optional[RecordSource] = None,
+    limits: Optional[SpfLimits] = None,
+) -> SpfAudit:
+    """Audit one SPF record; ``source`` supplies include/redirect targets."""
+    walker = _Walker(source if source is not None else EmptySource(), limits or SpfLimits())
+    return walker.run(text, domain)
+
+
+def audit_spf_domain(
+    domain: str,
+    source: RecordSource,
+    limits: Optional[SpfLimits] = None,
+) -> Optional[SpfAudit]:
+    """Audit the SPF policy published at ``domain`` within ``source``.
+
+    Returns None when the domain publishes no SPF record at all.  Multiple
+    records are themselves a finding (SPF003); the first is then audited,
+    matching the wild validators that "follow one".
+    """
+    answer = source.lookup(domain, RdataType.TXT)
+    spf_texts = [t for t in answer.texts() if looks_like_spf(t)]
+    if not spf_texts:
+        return None
+    walker = _Walker(source, limits or SpfLimits())
+    if len(spf_texts) > 1:
+        walker.report.add(
+            "SPF003",
+            "%d SPF records published at %s" % (len(spf_texts), domain),
+            subject=domain,
+            hint="merge them into a single record",
+        )
+        walker.abort("permerror:multiple-records")
+    return walker.run(spf_texts[0], domain)
+
+
+class _Walker:
+    """One audit run: the counters plus the recursive record walk."""
+
+    def __init__(self, source: RecordSource, limits: SpfLimits) -> None:
+        self.source = source
+        self.limits = limits
+        self.report = LintReport()
+        self.prediction = StaticPrediction()
+        self.lookups = 0
+        self.voids = 0
+        self.active: List[str] = []  # include/redirect stack, lowered domains
+
+    # -- entry -----------------------------------------------------------
+
+    def run(self, text: str, domain: str) -> SpfAudit:
+        if len(text.encode("utf-8")) > _TRUNCATION_RISK_OCTETS:
+            self.report.add(
+                "SPF005",
+                "record is %d octets; plain-UDP responses truncate" % len(text),
+                subject=domain,
+                hint="trim the record or rely on EDNS0/TCP-capable validators",
+            )
+        result = self._walk(text, domain, depth=0)
+        prediction = self.prediction
+        prediction.lookup_terms = self.lookups
+        prediction.void_lookups = self.voids
+        if prediction.first_abort is not None:
+            prediction.result = SpfResult.PERMERROR
+        else:
+            prediction.result = result
+        self._summarize(domain)
+        return SpfAudit(domain=domain, record_text=text, report=self.report, prediction=prediction)
+
+    def _summarize(self, domain: str) -> None:
+        if self.prediction.first_abort == "lookup_limit":
+            self.report.add(
+                "SPF010",
+                "worst-case evaluation needs %s DNS-lookup terms; the limit is %d"
+                % ("unbounded" if self.prediction.cycle else str(self.lookups), self.limits.max_lookups),
+                subject=domain,
+                hint="flatten includes into ip4/ip6 networks",
+            )
+        elif self.lookups > self.limits.near_lookups:
+            self.report.add(
+                "SPF011",
+                "worst-case evaluation needs %d of %d permitted DNS-lookup terms"
+                % (self.lookups, self.limits.max_lookups),
+                subject=domain,
+                hint="nested includes can push past the limit",
+            )
+        if self.prediction.first_abort == "void_limit":
+            self.report.add(
+                "SPF012",
+                "worst-case evaluation hits %d void lookups; the limit is %d"
+                % (self.voids, self.limits.max_voids),
+                subject=domain,
+                hint="remove mechanisms whose targets do not resolve",
+            )
+
+    # -- counters (placement mirrors SpfEvaluator) -----------------------
+
+    def abort(self, kind: str) -> None:
+        if self.prediction.first_abort is None:
+            self.prediction.first_abort = kind
+
+    def _count_lookup(self) -> None:
+        self.lookups += 1
+        if self.lookups > self.limits.max_lookups:
+            self.abort("lookup_limit")
+
+    def _void_budget_check(self) -> None:
+        if self.voids >= self.limits.max_voids:
+            self.abort("void_limit")
+
+    def _note_void(self) -> None:
+        self.voids += 1
+        if self.voids > self.limits.max_voids:
+            self.abort("void_limit")
+
+    # -- the walk --------------------------------------------------------
+
+    def _walk(self, text: str, domain: str, depth: int) -> Optional[SpfResult]:
+        """Walk one record; returns the statically-decided result or None."""
+        top = depth == 0
+        try:
+            record = parse_record(text, tolerant=True)
+        except SpfSyntaxError as exc:
+            self.report.add("SPF002", str(exc), subject=domain)
+            self.abort("permerror:unparseable")
+            return SpfResult.PERMERROR
+        self._record_checks(record, domain, top)
+        self.active.append(_canonical(domain))
+        try:
+            return self._walk_terms(record, domain, depth, top)
+        finally:
+            self.active.pop()
+
+    def _record_checks(self, record: SpfRecord, domain: str, top: bool) -> None:
+        """Per-record findings a strict parse would reject outright."""
+        for invalid in record.invalid_terms:
+            code = "SPF004" if invalid.reason.startswith("duplicate") else "SPF001"
+            self.report.add(
+                code,
+                "%s: %r" % (invalid.reason, invalid.text),
+                subject=domain,
+                span=_span(invalid),
+            )
+        if record.invalid_terms:
+            self.abort("permerror:syntax")
+        for term in record.terms:
+            if isinstance(term, Modifier) and term.name.lower() not in ("redirect", "exp"):
+                self.report.add(
+                    "SPF027",
+                    "unknown modifier %s= is ignored" % term.name,
+                    subject=domain,
+                    span=_span(term),
+                )
+
+    def _walk_terms(
+        self, record: SpfRecord, domain: str, depth: int, top: bool
+    ) -> Optional[SpfResult]:
+        directives = record.directives
+        for index, term in enumerate(t for t in record.terms if isinstance(t, Directive)):
+            mechanism = term.mechanism
+            kind = mechanism.kind
+            if kind.consumes_dns_lookup:
+                self._count_lookup()
+            if kind is MechanismKind.ALL:
+                self._all_checks(record, term, index, directives, domain, top)
+                return QUALIFIER_RESULTS[term.qualifier.value]
+            if kind is MechanismKind.INCLUDE:
+                result = self._follow_include(term, domain, depth)
+                if result is SpfResult.PASS:
+                    return QUALIFIER_RESULTS[term.qualifier.value]
+            elif kind is MechanismKind.A:
+                self._address_mechanism(term, mechanism.domain_spec or domain, domain)
+            elif kind is MechanismKind.MX:
+                self._mx_mechanism(term, mechanism.domain_spec or domain, domain)
+            elif kind is MechanismKind.EXISTS:
+                matched = self._exists_mechanism(term, domain)
+                if matched:
+                    return QUALIFIER_RESULTS[term.qualifier.value]
+            elif kind is MechanismKind.PTR:
+                self.report.add(
+                    "SPF025",
+                    "'ptr' costs per-client reverse lookups and rarely matches",
+                    subject=domain,
+                    span=_span(term),
+                    hint="replace with ip4/ip6 or a",
+                )
+            # ip4/ip6 match depends on the client address: worst case, no match.
+        return self._follow_redirect(record, domain, depth, top)
+
+    def _all_checks(
+        self,
+        record: SpfRecord,
+        term: Directive,
+        index: int,
+        directives: List[Directive],
+        domain: str,
+        top: bool,
+    ) -> None:
+        if top:
+            if term.qualifier.value == "+":
+                self.report.add(
+                    "SPF022",
+                    "'+all' passes every sender on the Internet",
+                    subject=domain,
+                    span=_span(term),
+                    hint="use -all (or ~all while rolling out)",
+                )
+            elif term.qualifier.value == "?":
+                self.report.add(
+                    "SPF023",
+                    "terminal '?all' leaves spoofed mail neutral",
+                    subject=domain,
+                    span=_span(term),
+                    hint="tighten to ~all or -all",
+                )
+        if index != len(directives) - 1:
+            self.report.add(
+                "SPF020",
+                "%d mechanism(s) after 'all' are unreachable" % (len(directives) - 1 - index),
+                subject=domain,
+                span=_span(term),
+                hint="delete the dead terms",
+            )
+        if record.modifier("redirect") is not None:
+            self.report.add(
+                "SPF021",
+                "redirect= never takes effect alongside 'all'",
+                subject=domain,
+                hint="drop one of the two",
+            )
+
+    # -- mechanism handlers ----------------------------------------------
+
+    def _follow_include(self, term: Directive, domain: str, depth: int) -> Optional[SpfResult]:
+        target = term.mechanism.domain_spec or ""
+        if "%" in target:
+            self.report.add(
+                "SPF026",
+                "include:%s expands per-message; child policy not followed" % target,
+                subject=domain,
+                span=_span(term),
+            )
+            self.prediction.complete = False
+            return None
+        if _canonical(target) in self.active:
+            self.report.add(
+                "SPF013",
+                "include:%s re-enters a policy already on the evaluation stack" % target,
+                subject=domain,
+                span=_span(term),
+                hint="break the loop; validators spin until the lookup limit",
+            )
+            self.prediction.cycle = True
+            self.abort("lookup_limit")
+            return None
+        if depth >= self.limits.max_depth:
+            self.report.add(
+                "SPF029",
+                "include chain deeper than %d levels; not followed further" % self.limits.max_depth,
+                subject=domain,
+            )
+            self.prediction.complete = False
+            return None
+        answer = self.source.lookup(target, RdataType.TXT)
+        if answer.status is SourceStatus.UNKNOWN:
+            self.report.add(
+                "SPF028",
+                "include:%s is outside the audited data" % target,
+                subject=domain,
+                span=_span(term),
+            )
+            self.prediction.complete = False
+            return None
+        spf_texts = [t for t in answer.texts() if looks_like_spf(t)]
+        if not spf_texts:
+            self.report.add(
+                "SPF015",
+                "include:%s resolves to no SPF record (child result 'none')" % target,
+                subject=domain,
+                span=_span(term),
+                hint="publish a policy at the target or remove the include",
+            )
+            self.abort("permerror:include-none")
+            return None
+        if len(spf_texts) > 1:
+            self.report.add(
+                "SPF003",
+                "%d SPF records published at include target %s" % (len(spf_texts), target),
+                subject=target,
+            )
+            self.abort("permerror:multiple-records")
+            return None
+        return self._walk(spf_texts[0], target, depth + 1)
+
+    def _address_mechanism(self, term: Directive, target: str, domain: str) -> None:
+        self._void_budget_check()
+        if "%" in target:
+            self.report.add(
+                "SPF026",
+                "%s target expands per-message; resolvability unknown" % term.mechanism.kind.value,
+                subject=domain,
+                span=_span(term),
+            )
+            self.prediction.complete = False
+            return
+        known = self._has_address(target)
+        if known is None:
+            self.prediction.complete = False
+        elif not known:
+            self._note_void()
+            self.report.add(
+                "SPF017",
+                "a:%s does not resolve" % target,
+                subject=domain,
+                span=_span(term),
+                hint="remove the mechanism or publish the address",
+            )
+
+    def _mx_mechanism(self, term: Directive, target: str, domain: str) -> None:
+        self._void_budget_check()
+        if "%" in target:
+            self.report.add(
+                "SPF026",
+                "mx target expands per-message; resolvability unknown",
+                subject=domain,
+                span=_span(term),
+            )
+            self.prediction.complete = False
+            return
+        answer = self.source.lookup(target, RdataType.MX)
+        if answer.status is SourceStatus.UNKNOWN:
+            self.prediction.complete = False
+            return
+        exchanges = [r for r in answer.records if r.rdtype == RdataType.MX]
+        if not exchanges:
+            self._note_void()
+            self.report.add(
+                "SPF017",
+                "mx:%s publishes no MX records (and SPF forbids the A fallback)" % target,
+                subject=domain,
+                span=_span(term),
+                hint="point mx at a name with MX records or use a:",
+            )
+            return
+        if len(exchanges) == 1 and len(exchanges[0].exchange.labels) == 0:
+            self.report.add(
+                "SPF019",
+                "mx:%s is a null MX; the mechanism can never match" % target,
+                subject=domain,
+                span=_span(term),
+            )
+            return
+        ordered = sorted(exchanges, key=lambda mx: mx.preference)
+        for index, exchange in enumerate(ordered):
+            if index >= self.limits.max_mx:
+                self.report.add(
+                    "SPF018",
+                    "mx:%s yields %d exchanges; validators abort after %d address lookups"
+                    % (target, len(ordered), self.limits.max_mx),
+                    subject=domain,
+                    span=_span(term),
+                )
+                self.abort("mx_limit")
+                break
+            self._void_budget_check()
+            exchange_name = exchange.exchange.to_text(omit_final_dot=True)
+            known = self._has_address(exchange_name)
+            if known is None:
+                self.prediction.complete = False
+            elif not known:
+                self._note_void()
+                self.report.add(
+                    "SPF017",
+                    "mx exchange %s does not resolve" % exchange_name,
+                    subject=domain,
+                    span=_span(term),
+                )
+
+    def _exists_mechanism(self, term: Directive, domain: str) -> bool:
+        """Returns True when the target is known to resolve (a static match)."""
+        self._void_budget_check()
+        target = term.mechanism.domain_spec or ""
+        if "%" in target:
+            self.report.add(
+                "SPF026",
+                "exists:%s expands per-message; match is client-dependent" % target,
+                subject=domain,
+                span=_span(term),
+            )
+            self.prediction.complete = False
+            return False
+        answer = self.source.lookup(target, RdataType.A)
+        if answer.status is SourceStatus.UNKNOWN:
+            self.prediction.complete = False
+            return False
+        if not any(r.rdtype == RdataType.A for r in answer.records):
+            self._note_void()
+            self.report.add(
+                "SPF017",
+                "exists:%s does not resolve" % target,
+                subject=domain,
+                span=_span(term),
+            )
+            return False
+        return True
+
+    def _follow_redirect(
+        self, record: SpfRecord, domain: str, depth: int, top: bool
+    ) -> Optional[SpfResult]:
+        redirect = record.modifier("redirect")
+        if redirect is None:
+            if top:
+                self.report.add(
+                    "SPF024",
+                    "no terminal 'all' or redirect=",
+                    subject=domain,
+                    hint="end the record with -all or ~all",
+                )
+            return SpfResult.NEUTRAL
+        self._count_lookup()
+        if "%" in redirect:
+            self.report.add(
+                "SPF026",
+                "redirect=%s expands per-message; target not followed" % redirect,
+                subject=domain,
+            )
+            self.prediction.complete = False
+            return None
+        if _canonical(redirect) in self.active:
+            self.report.add(
+                "SPF014",
+                "redirect=%s re-enters a policy already on the evaluation stack" % redirect,
+                subject=domain,
+                hint="break the loop; validators spin until the lookup limit",
+            )
+            self.prediction.cycle = True
+            self.abort("lookup_limit")
+            return None
+        if depth >= self.limits.max_depth:
+            self.report.add("SPF029", "redirect chain deeper than analyzer bound", subject=domain)
+            self.prediction.complete = False
+            return None
+        answer = self.source.lookup(redirect, RdataType.TXT)
+        if answer.status is SourceStatus.UNKNOWN:
+            self.report.add(
+                "SPF028",
+                "redirect=%s is outside the audited data" % redirect,
+                subject=domain,
+            )
+            self.prediction.complete = False
+            return None
+        spf_texts = [t for t in answer.texts() if looks_like_spf(t)]
+        if not spf_texts:
+            self.report.add(
+                "SPF016",
+                "redirect=%s resolves to no SPF record (permerror)" % redirect,
+                subject=domain,
+                hint="publish a policy at the target or drop the redirect",
+            )
+            self.abort("permerror:redirect-none")
+            return None
+        if len(spf_texts) > 1:
+            self.report.add(
+                "SPF003",
+                "%d SPF records published at redirect target %s" % (len(spf_texts), redirect),
+                subject=redirect,
+            )
+            self.abort("permerror:multiple-records")
+            return None
+        return self._walk(spf_texts[0], redirect, depth + 1)
+
+    def _has_address(self, target: str) -> Optional[bool]:
+        """Three-valued A/AAAA presence (the evaluator's _address_set)."""
+        answer = self.source.lookup(target, RdataType.A)
+        if answer.status is SourceStatus.UNKNOWN:
+            return None
+        if any(r.rdtype in (RdataType.A, RdataType.AAAA) for r in answer.records):
+            return True
+        aaaa = self.source.lookup(target, RdataType.AAAA)
+        if aaaa.status is SourceStatus.UNKNOWN:
+            return None
+        return any(r.rdtype == RdataType.AAAA for r in aaaa.records)
+
+
+def _canonical(domain: str) -> str:
+    return domain.lower().rstrip(".")
+
+
+def _span(term) -> Optional[Span]:
+    if getattr(term, "start", -1) >= 0:
+        return Span(term.start, term.end)
+    return None

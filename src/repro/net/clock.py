@@ -12,6 +12,21 @@ actor (e.g. the probe client sleeping 15 seconds between SMTP commands).
 
 from __future__ import annotations
 
+import time as _time
+
+
+def wall_now() -> float:
+    """The real wall clock, for human-facing progress output only.
+
+    This is the single sanctioned bridge to real time: simulation code must
+    take timestamps from a :class:`Clock`, and ``repro.lint.astcheck`` (rule
+    AST001) rejects direct ``time.time()``/``datetime.now()`` calls anywhere
+    else in the package.  Keeping the escape hatch here, one hop away from
+    the virtual clock, makes the "which time am I using?" question explicit
+    at every call site.
+    """
+    return _time.time()
+
 
 class Clock:
     """A virtual clock counting seconds since the start of a simulation.

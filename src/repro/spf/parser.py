@@ -37,29 +37,44 @@ _MODIFIER_RE = re.compile(r"^([A-Za-z][A-Za-z0-9._-]*)=(.*)$")
 _DOMAIN_SPEC_RE = re.compile(r"^[A-Za-z0-9.%{}+=_/,!*~?^|\x2d-]+$")
 
 
+#: Modifiers RFC 7208 section 6 permits at most once per record.
+_SINGLETON_MODIFIERS = ("redirect", "exp")
+
+_TOKEN_RE = re.compile(r"\S+")
+
+
 def parse_record(text: str, tolerant: bool = False) -> SpfRecord:
     """Parse SPF record ``text``.
 
     Raises :class:`SpfSyntaxError` when the version section is wrong, and
-    (in strict mode) when any term is malformed.
+    (in strict mode) when any term is malformed or a ``redirect=``/``exp=``
+    modifier appears more than once (RFC 7208 section 6: permerror).  Each
+    parsed term carries its ``start``/``end`` character offsets into
+    ``text`` so diagnostics can point at the exact span.
     """
     if not looks_like_spf(text):
         raise SpfSyntaxError("not an SPF record: %r" % text[:40])
     record = SpfRecord(terms=[], raw=text)
-    body = text[len("v=spf1") :].strip()
-    if not body:
-        return record
-    for token in body.split():
+    seen_modifiers = {name: 0 for name in _SINGLETON_MODIFIERS}
+    for match in _TOKEN_RE.finditer(text, len("v=spf1")):
+        token, start, end = match.group(0), match.start(), match.end()
         try:
-            record.terms.append(_parse_term(token))
+            term = _parse_term(token, start, end)
+            if isinstance(term, Modifier):
+                lowered = term.name.lower()
+                if lowered in seen_modifiers:
+                    seen_modifiers[lowered] += 1
+                    if seen_modifiers[lowered] > 1:
+                        raise SpfSyntaxError("duplicate %s= modifier" % lowered)
+            record.terms.append(term)
         except SpfSyntaxError as exc:
             if not tolerant:
                 raise
-            record.terms.append(InvalidTerm(token, str(exc)))
+            record.terms.append(InvalidTerm(token, str(exc), start, end))
     return record
 
 
-def _parse_term(token: str):
+def _parse_term(token: str, start: int = -1, end: int = -1):
     qualifier = Qualifier.PASS
     explicit_qualifier = False
     rest = token
@@ -78,12 +93,12 @@ def _parse_term(token: str):
             raise SpfSyntaxError("modifier with qualifier: %r" % token)
         if not _MODIFIER_RE.match(rest):
             raise SpfSyntaxError("malformed modifier: %r" % token)
-        return Modifier(name, argument)
+        return Modifier(name, argument, start, end)
 
     if lowered not in _MECHANISMS:
         raise SpfSyntaxError("unknown mechanism %r" % name)
     kind = _MECHANISMS[lowered]
-    return Directive(qualifier, _parse_mechanism(kind, separator, argument, token))
+    return Directive(qualifier, _parse_mechanism(kind, separator, argument, token), start, end)
 
 
 def _split_term(text: str) -> Tuple[str, str, str]:

@@ -9,7 +9,7 @@ structures; the evaluator walks them.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
 
@@ -76,10 +76,18 @@ class Mechanism:
 
 @dataclass(frozen=True)
 class Directive:
-    """Qualifier + mechanism."""
+    """Qualifier + mechanism.
+
+    ``start``/``end`` are the term's character offsets into the raw record
+    text (``-1`` when the term was built programmatically rather than
+    parsed); the static analyzer uses them for exact diagnostic spans.
+    They never participate in equality.
+    """
 
     qualifier: Qualifier
     mechanism: Mechanism
+    start: int = field(default=-1, compare=False)
+    end: int = field(default=-1, compare=False)
 
     def to_text(self) -> str:
         prefix = self.qualifier.value if self.qualifier is not Qualifier.PASS else ""
@@ -92,6 +100,8 @@ class Modifier:
 
     name: str
     value: str
+    start: int = field(default=-1, compare=False)
+    end: int = field(default=-1, compare=False)
 
     def to_text(self) -> str:
         return "%s=%s" % (self.name, self.value)
@@ -104,6 +114,8 @@ class InvalidTerm:
 
     text: str
     reason: str
+    start: int = field(default=-1, compare=False)
+    end: int = field(default=-1, compare=False)
 
     def to_text(self) -> str:
         return self.text

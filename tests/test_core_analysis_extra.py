@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import analysis as A
 from repro.core.analysis import FIGURE2_EDGES, FIGURE2_LABELS, Stat
-from repro.core.report import Table, pct, render_cdf, render_histogram
+from repro.core.report import pct, render_cdf, render_histogram
 
 
 class TestStat:

@@ -6,15 +6,12 @@ from repro.core.policies import (
     NOTIFY_POLICY,
     POLICIES,
     PolicyContext,
-    TestPolicy,
-    UNAFFILIATED_IP,
     policy_by_id,
     t02_query_order,
 )
 from repro.core.synth import SynthConfig, SynthesizingAuthority
 from repro.dns import wire
 from repro.dns.message import Message
-from repro.dns.name import Name
 from repro.dns.rdata import Rcode, RdataType
 from repro.dns.resolver import AuthorityDirectory, Resolver
 from repro.net.clock import Clock

@@ -10,7 +10,7 @@ from repro.dns.rdata import (
     TxtRecord,
 )
 from repro.dns.resolver import AnswerStatus, ResolverConfig
-from tests.helpers import AUTH_IP, AUTH_IP6, World
+from tests.helpers import AUTH_IP6, World
 
 
 @pytest.fixture

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.dns import wire
 from repro.dns.errors import WireError
-from repro.dns.message import Flags, Message, Question
+from repro.dns.message import Flags, Message
 from repro.dns.name import Name
 from repro.dns.rdata import (
     AAAARecord,
@@ -167,12 +167,20 @@ _name = st.lists(_label, min_size=1, max_size=5).map(Name)
 _ttl = st.integers(min_value=0, max_value=2**31 - 1)
 
 _rdata = st.one_of(
-    st.builds(ARecord, st.integers(0, 2**32 - 1).map(lambda n: str((n >> 24) % 256) + ".%d.%d.%d" % ((n >> 16) % 256, (n >> 8) % 256, n % 256))),
+    st.builds(
+        ARecord,
+        st.integers(0, 2**32 - 1).map(
+            lambda n: "%d.%d.%d.%d" % ((n >> 24) % 256, (n >> 16) % 256, (n >> 8) % 256, n % 256)
+        ),
+    ),
     st.builds(lambda n: AAAARecord("2001:db8::%x" % n), st.integers(0, 0xFFFF)),
     st.builds(MxRecord, st.integers(0, 65535), _name),
     st.builds(NsRecord, _name),
     st.builds(CnameRecord, _name),
-    st.builds(TxtRecord, st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), min_size=0, max_size=300)),
+    st.builds(
+        TxtRecord,
+        st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), min_size=0, max_size=300),
+    ),
 )
 
 

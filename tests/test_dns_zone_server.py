@@ -8,7 +8,6 @@ from repro.dns.name import Name
 from repro.dns.rdata import (
     ARecord,
     CnameRecord,
-    MxRecord,
     Rcode,
     RdataType,
     SoaRecord,

@@ -8,8 +8,6 @@ import importlib.util
 import pathlib
 import sys
 
-import pytest
-
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
 
 
@@ -50,6 +48,15 @@ def test_notify_email(capsys, monkeypatch):
     assert "Table 4" in out
     assert "Figure 2" in out
     assert "deliveries accepted" in out
+
+
+def test_zone_lint(capsys):
+    _load("zone_lint").main()
+    out = capsys.readouterr().out
+    assert "clean: no findings" in out  # the textbook zone
+    assert "SPF013" in out  # the planted include loop
+    assert "lookup_limit" in out
+    assert '"DMARC002"' in out  # the JSON rendering of p=none
 
 
 def test_probe_campaign(capsys, monkeypatch):

@@ -1,0 +1,158 @@
+"""Tests for the AST invariant checker — including the tier-1 assertion
+that the repro package itself is clean."""
+
+import textwrap
+
+from repro.lint.astcheck import check_file, check_source_tree
+from repro.lint.diagnostics import LintReport
+
+
+def _check(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    report = LintReport()
+    check_file(path, relpath, report)
+    return report
+
+
+class TestRepoIsClean:
+    def test_repro_package_has_no_violations(self):
+        """The tier-1 invariant: the shipped package passes its own check."""
+        report = check_source_tree()
+        assert report.diagnostics == [], report.render_text()
+
+
+class TestWallClock:
+    def test_time_time_flagged(self, tmp_path):
+        report = _check(
+            tmp_path,
+            "core/bad.py",
+            """
+            import time
+            stamp = time.time()
+            """,
+        )
+        assert report.codes() == ["AST001"]
+        assert "bad.py:3" in report.diagnostics[0].subject
+
+    def test_aliased_import_flagged(self, tmp_path):
+        report = _check(
+            tmp_path,
+            "core/bad.py",
+            """
+            import time as t
+            stamp = t.monotonic()
+            """,
+        )
+        assert report.has("AST001")
+
+    def test_from_import_flagged(self, tmp_path):
+        report = _check(
+            tmp_path,
+            "core/bad.py",
+            """
+            from time import perf_counter
+            stamp = perf_counter()
+            """,
+        )
+        assert report.has("AST001")
+
+    def test_datetime_now_flagged(self, tmp_path):
+        report = _check(
+            tmp_path,
+            "core/bad.py",
+            """
+            import datetime
+            stamp = datetime.datetime.now()
+            """,
+        )
+        assert report.has("AST001")
+
+    def test_clock_module_is_sanctioned(self, tmp_path):
+        report = _check(
+            tmp_path,
+            "net/clock.py",
+            """
+            import time
+            def wall_now():
+                return time.time()
+            """,
+        )
+        assert report.diagnostics == []
+
+    def test_virtual_clock_calls_not_flagged(self, tmp_path):
+        report = _check(
+            tmp_path,
+            "core/good.py",
+            """
+            def step(clock):
+                return clock.now
+            def wait(clock):
+                clock.sleep(1.0)
+            """,
+        )
+        assert report.diagnostics == []
+
+
+class TestSocket:
+    def test_import_socket_flagged(self, tmp_path):
+        report = _check(tmp_path, "core/bad.py", "import socket\n")
+        assert report.codes() == ["AST002"]
+
+    def test_from_socket_flagged(self, tmp_path):
+        report = _check(tmp_path, "core/bad.py", "from socket import AF_INET\n")
+        assert report.has("AST002")
+
+    def test_socket_allowed_under_net(self, tmp_path):
+        report = _check(tmp_path, "net/transport.py", "import socket\n")
+        assert report.diagnostics == []
+
+
+class TestBareExcept:
+    def test_bare_except_flagged(self, tmp_path):
+        report = _check(
+            tmp_path,
+            "core/bad.py",
+            """
+            try:
+                work()
+            except:
+                pass
+            """,
+        )
+        assert report.codes() == ["AST003"]
+
+    def test_typed_except_fine(self, tmp_path):
+        report = _check(
+            tmp_path,
+            "core/good.py",
+            """
+            try:
+                work()
+            except ValueError:
+                pass
+            """,
+        )
+        assert report.diagnostics == []
+
+
+class TestUnparseable:
+    def test_syntax_error_reported(self, tmp_path):
+        report = _check(tmp_path, "core/broken.py", "def f(:\n")
+        assert report.codes() == ["AST000"]
+
+
+class TestPlantedTree:
+    def test_scan_finds_planted_violations(self, tmp_path):
+        """End-to-end over a small planted tree: one of each violation."""
+        (tmp_path / "net").mkdir()
+        (tmp_path / "core").mkdir()
+        (tmp_path / "net" / "clock.py").write_text("import time\nnow = time.time()\n")
+        (tmp_path / "net" / "io.py").write_text("import socket\n")
+        (tmp_path / "core" / "loop.py").write_text(
+            "import time\n\ntry:\n    t = time.time()\nexcept:\n    pass\n"
+        )
+        report = check_source_tree(tmp_path)
+        assert sorted(report.codes()) == ["AST001", "AST003"]
+        assert all(d.subject.startswith("core/loop.py") for d in report.diagnostics)

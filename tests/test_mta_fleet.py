@@ -7,7 +7,6 @@ import pytest
 
 from repro.mta.behavior import SpfTrigger
 from repro.mta.fleet import (
-    BehaviorDistribution,
     NOTIFY_EMAIL_PROFILE,
     NOTIFY_MX_PROFILE,
     TABLE4_COMBO_WEIGHTS,

@@ -4,7 +4,7 @@ full SPF/DKIM/DMARC pipeline."""
 import pytest
 
 from repro.dkim import DkimSigner, KeyRecord, generate_keypair
-from repro.dns.rdata import AAAARecord, ARecord, TxtRecord
+from repro.dns.rdata import TxtRecord
 from repro.mta.behavior import MtaBehavior, SpfTrigger
 from repro.mta.receiver import ReceivingMta
 from repro.smtp.client import SmtpClient

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.dkim import DkimSigner, generate_keypair
-from repro.dns.rdata import AAAARecord, ARecord, MxRecord, TxtRecord
+from repro.dns.rdata import AAAARecord, ARecord, MxRecord
 from repro.mta.sender import SendingMta
 from repro.smtp.message import EmailMessage
 from repro.smtp.protocol import Reply

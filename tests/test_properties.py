@@ -51,8 +51,18 @@ _term = st.one_of(
     st.builds(lambda d: "exp=%s" % d, _domain),
 )
 
-_spf_record = st.lists(_term, min_size=0, max_size=8).map(
-    lambda terms: ("v=spf1 " + " ".join(terms)).strip()
+def _singleton_modifiers_only(terms):
+    """RFC 7208 section 6: redirect=/exp= at most once per record."""
+    for prefix in ("redirect=", "exp="):
+        if sum(term.startswith(prefix) for term in terms) > 1:
+            return False
+    return True
+
+
+_spf_record = (
+    st.lists(_term, min_size=0, max_size=8)
+    .filter(_singleton_modifiers_only)
+    .map(lambda terms: ("v=spf1 " + " ".join(terms)).strip())
 )
 
 
