@@ -15,6 +15,14 @@ from repro.dns.rdata import ARecord, TxtRecord
 from repro.dns.zone import Zone
 from repro.lint import audit_zone
 
+# A real (precomputed) 1024-bit RSA public key: the zone audit now parses
+# DKIM key material, so the bench must feed it a decodable key.
+KEY_B64 = (
+    "MIGfMA0GCSqGSIb3DQEBAQUAA4GNADCBiQKBgQCYNXSKOMa7s+u0yyI2QaWNRUqLcIV9LagA"
+    "hfCYOqANu7t8Tse2SowWfTJS2um1V0MlCZuLXmpGm6BjxCQTSnLzmG3kfVtB55zN5nHrRZ1U"
+    "qnwHEZHmMrbjNS4f8Vx4lx2F7IWAVkEYI13mQBciatfms4CQQ8FmHCns8oOtdDY/1QIDAQAB"
+)
+
 
 def _make_zone(index):
     """A realistic small deployment: an include chain, an MX, a DMARC."""
@@ -24,7 +32,7 @@ def _make_zone(index):
     zone.add("spf." + origin, TxtRecord("v=spf1 ip4:203.0.113.%d/32 ?all" % (index % 250 + 1)))
     zone.add("mail." + origin, ARecord("203.0.113.%d" % (index % 250 + 1)))
     zone.add("_dmarc." + origin, TxtRecord("v=DMARC1; p=quarantine"))
-    zone.add("s1._domainkey." + origin, TxtRecord("v=DKIM1; p=QUJD"))
+    zone.add("s1._domainkey." + origin, TxtRecord("v=DKIM1; p=%s" % KEY_B64))
     return zone
 
 

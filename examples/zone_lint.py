@@ -14,13 +14,25 @@ from repro.dns import TxtRecord, Zone
 from repro.dns.rdata import ARecord, MxRecord
 from repro.lint import audit_zone
 
+# A real (precomputed) 2048-bit RSA public key: the zone audit parses DKIM
+# key material, so the textbook zone must publish a decodable, full-strength
+# key to stay clean.
+KEY_B64 = (
+    "MIIBIjANBgkqhkiG9w0BAQEFAAOCAQ8AMIIBCgKCAQEAnxp9ayrpB2GROW0RRHeUiND8"
+    "v6fkHr7YQkohvWmSVquKJZaaObY2CcxWVoaxDXwBjgV/5wHkExE5tA+elWlEtI7f8gck"
+    "VawSai6mmhqSCjt8aKC11CNM31g+Uao+MFRfnBUhtBBl5RJMcg3m0bPhNfbzueZxMrI/"
+    "krAIMUCxMQbXqync971sVv2NY339cP00h0D7EAd2wXeu1w4K8zWpAu+vuOLY+or5Au1u"
+    "dPKtBoktxTl+2LoZirQfjb8g1BpvIQOz/RuvVcdLG2bbpZvjPojqJ/un+koY8YPcLQxW"
+    "g4mcRzAqGdQIA+aSMPz9bewhHLrIsiasxpOXmFlnkSCm5QIDAQAB"
+)
+
 
 def build_textbook():
     zone = Zone("textbook.example")
     zone.add("textbook.example", TxtRecord("v=spf1 mx ip4:203.0.113.0/28 -all"))
     zone.add("textbook.example", MxRecord(10, "mx.textbook.example"))
     zone.add("mx.textbook.example", ARecord("203.0.113.1"))
-    zone.add("mail._domainkey.textbook.example", TxtRecord("v=DKIM1; k=rsa; p=QUJD"))
+    zone.add("mail._domainkey.textbook.example", TxtRecord("v=DKIM1; k=rsa; p=%s" % KEY_B64))
     zone.add("_dmarc.textbook.example", TxtRecord("v=DMARC1; p=reject; rua=mailto:d@textbook.example"))
     return zone
 

@@ -10,7 +10,7 @@ analysis consumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclasses_field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.synth import SynthConfig
@@ -51,17 +51,44 @@ class AttributedQuery:
         return self.sub[0] if self.sub else ""
 
 
-def attribute_queries(
+@dataclass
+class AttributionStats:
+    """Per-reason accounting of :func:`attribute_queries` drops.
+
+    Operators (and :mod:`repro.lint.tracecheck`) need to distinguish "no
+    traffic" from "unattributable traffic": a silent drop of in-suffix
+    queries would skew every analysis downstream of the query log.
+    """
+
+    total: int = 0
+    attributed: int = 0
+    #: experiment -> attributed count ("probe" | "v6" | "notify").
+    by_experiment: Dict[str, int] = dataclasses_field(default_factory=dict)
+    #: Entries whose qname is under none of the measurement suffixes.
+    dropped_foreign: int = 0
+    #: In-suffix entries with too few labels to carry (mtaid, testid).
+    dropped_short: int = 0
+    #: The dropped in-suffix entries themselves, for post-mortems.
+    short_entries: List[QueryLogEntry] = dataclasses_field(default_factory=list)
+
+    @property
+    def dropped(self) -> int:
+        return self.dropped_foreign + self.dropped_short
+
+
+def attribute_queries_with_stats(
     entries: Iterable[QueryLogEntry], config: Optional[SynthConfig] = None
-) -> List[AttributedQuery]:
-    """Attribute raw log entries; unparseable names are dropped."""
+) -> Tuple[List[AttributedQuery], AttributionStats]:
+    """Attribute raw log entries, accounting for every drop by reason."""
     if config is None:
         config = SynthConfig()
     probe_suffix = Name(config.probe_suffix)
     v6_suffix = Name(config.v6_suffix)
     notify_suffix = Name(config.notify_suffix)
     attributed: List[AttributedQuery] = []
+    stats = AttributionStats()
     for entry in entries:
+        stats.total += 1
         qname = entry.qname
         if qname.is_subdomain_of(probe_suffix):
             experiment, suffix = "probe", probe_suffix
@@ -70,20 +97,32 @@ def attribute_queries(
         elif qname.is_subdomain_of(notify_suffix):
             experiment, suffix = "notify", notify_suffix
         else:
+            stats.dropped_foreign += 1
             continue
         relative = tuple(label.lower() for label in qname.relativize(suffix))
         if experiment == "notify":
             if not relative:
+                stats.dropped_short += 1
+                stats.short_entries.append(entry)
                 continue
-            attributed.append(
-                AttributedQuery(entry, experiment, relative[-1], "notify", relative[:-1])
-            )
+            query = AttributedQuery(entry, experiment, relative[-1], "notify", relative[:-1])
         else:
             if len(relative) < 2:
+                stats.dropped_short += 1
+                stats.short_entries.append(entry)
                 continue
-            attributed.append(
-                AttributedQuery(entry, experiment, relative[-1], relative[-2], relative[:-2])
-            )
+            query = AttributedQuery(entry, experiment, relative[-1], relative[-2], relative[:-2])
+        attributed.append(query)
+        stats.attributed += 1
+        stats.by_experiment[experiment] = stats.by_experiment.get(experiment, 0) + 1
+    return attributed, stats
+
+
+def attribute_queries(
+    entries: Iterable[QueryLogEntry], config: Optional[SynthConfig] = None
+) -> List[AttributedQuery]:
+    """Attribute raw log entries; unparseable names are dropped."""
+    attributed, _ = attribute_queries_with_stats(entries, config)
     return attributed
 
 
@@ -94,9 +133,16 @@ class QueryIndex:
         self.queries: List[AttributedQuery] = sorted(queries, key=lambda q: q.timestamp)
         self._by_pair: Dict[Tuple[str, str], List[AttributedQuery]] = {}
         self._by_mta: Dict[str, List[AttributedQuery]] = {}
+        # Precomputed id cross-maps: mtas_observed/tests_with_activity are
+        # called per-MTA and per-testid by the analyses, so O(#pairs) scans
+        # there turn the whole classification pass quadratic.
+        self._mtas_by_test: Dict[str, Set[str]] = {}
+        self._tests_by_mta: Dict[str, Set[str]] = {}
         for query in self.queries:
             self._by_pair.setdefault((query.mtaid, query.testid), []).append(query)
             self._by_mta.setdefault(query.mtaid, []).append(query)
+            self._mtas_by_test.setdefault(query.testid, set()).add(query.mtaid)
+            self._tests_by_mta.setdefault(query.mtaid, set()).add(query.testid)
 
     def for_pair(self, mtaid: str, testid: str) -> List[AttributedQuery]:
         """Queries induced by one (MTA, test policy) pair, time-ordered."""
@@ -105,15 +151,19 @@ class QueryIndex:
     def for_mta(self, mtaid: str) -> List[AttributedQuery]:
         return self._by_mta.get(mtaid, [])
 
+    def pairs(self) -> List[Tuple[str, str]]:
+        """Every ``(mtaid, testid)`` pair with at least one query."""
+        return list(self._by_pair)
+
     def mtas_observed(self, testid: Optional[str] = None) -> Set[str]:
         """MTA ids with at least one attributable query (optionally for a
         single test policy) — the paper's definition of SPF-validating."""
         if testid is None:
             return set(self._by_mta)
-        return {mtaid for (mtaid, tid) in self._by_pair if tid == testid}
+        return set(self._mtas_by_test.get(testid, set()))
 
     def tests_with_activity(self, mtaid: str) -> Set[str]:
-        return {tid for (mid, tid) in self._by_pair if mid == mtaid}
+        return set(self._tests_by_mta.get(mtaid, set()))
 
     def __len__(self) -> int:
         return len(self.queries)

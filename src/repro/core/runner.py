@@ -10,7 +10,11 @@ tables, figures, and raw traces to an output directory::
 
 Artefacts per experiment: ``<name>_report.txt`` (every applicable table),
 ``<name>_queries.jsonl`` and ``<name>_probes.jsonl`` (raw traces loadable
-via :mod:`repro.core.trace`).
+via :mod:`repro.core.trace`), and ``<name>_tracecheck.txt`` — the
+post-flight differential conformance pass (:mod:`repro.lint.tracecheck`)
+that diffs the observed query log against each policy's derived DNS
+footprint.  A non-clean tracecheck means the harness, not a validator,
+misbehaved; the runner says so loudly but still writes every artefact.
 """
 
 from __future__ import annotations
@@ -30,7 +34,9 @@ from repro.core.campaign import (
 )
 from repro.core.datasets import DatasetSpec, generate_universe
 from repro.core.fingerprint import fingerprint_fleet
+from repro.core.querylog import QueryIndex, attribute_queries_with_stats
 from repro.core.report import render_histogram
+from repro.lint.tracecheck import check_index
 from repro.net.clock import wall_now
 
 EXPERIMENTS = ("notifyemail", "notifymx", "twoweekmx")
@@ -94,6 +100,7 @@ def _run_notify_family(args, wanted, say) -> None:
         )
         _write(args.out / "notifyemail_report.txt", sections)
         trace.save_query_log(result.index.queries, args.out / "notifyemail_queries.jsonl")
+        _postflight(testbed, args.out / "notifyemail_tracecheck.txt", say)
         say("  -> %s" % (args.out / "notifyemail_report.txt"))
 
     if "notifymx" in wanted:
@@ -118,6 +125,7 @@ def _run_notify_family(args, wanted, say) -> None:
         _write(args.out / "notifymx_report.txt", sections)
         trace.save_query_log(probe_result.index.queries, args.out / "notifymx_queries.jsonl")
         trace.save_probe_results(probe_result.results, args.out / "notifymx_probes.jsonl")
+        _postflight(testbed, args.out / "notifymx_tracecheck.txt", say)
         say("  -> %s" % (args.out / "notifymx_report.txt"))
 
 
@@ -139,7 +147,25 @@ def _run_twoweekmx(args, say) -> None:
     _write(args.out / "twoweekmx_report.txt", sections)
     trace.save_query_log(result.index.queries, args.out / "twoweekmx_queries.jsonl")
     trace.save_probe_results(result.results, args.out / "twoweekmx_probes.jsonl")
+    _postflight(testbed, args.out / "twoweekmx_tracecheck.txt", say)
     say("  -> %s" % (args.out / "twoweekmx_report.txt"))
+
+
+def _postflight(testbed: Testbed, path: Path, say) -> None:
+    """Diff the testbed's cumulative query log against the policy
+    footprints; the written report is an artefact like any other."""
+    attributed, stats = attribute_queries_with_stats(
+        testbed.synth.query_log, testbed.synth_config
+    )
+    result = check_index(QueryIndex(attributed), config=testbed.synth_config, stats=stats)
+    header = "tracecheck: %d queries over %d (mtaid, testid) pairs" % (
+        result.queries_checked,
+        result.pairs_checked,
+    )
+    _write(path, [result.report.render_text(header=header)])
+    if not result.clean:
+        say("  !! tracecheck found %d conformance finding(s) -> %s"
+            % (len(result.report.diagnostics), path))
 
 
 def _write(path: Path, sections: List[str]) -> None:

@@ -11,13 +11,20 @@ the worst-case RFC 7208 lookup/void counts, verified against the dynamic
 Entry points:
 
 * :func:`audit_record_text` / :func:`audit_spf_domain` — one SPF policy;
-* :func:`audit_zone` — every SPF/DMARC publisher in a zone;
+* :func:`audit_zone` — every SPF/DMARC/DKIM publisher in a zone;
+* :func:`audit_key_record` / :func:`audit_signature_header` — DKIM key
+  records and ``DKIM-Signature`` headers (:mod:`repro.lint.dkimlint`);
 * :func:`repro.lint.astcheck.check_source_tree` — the repository's own
-  determinism invariants;
+  determinism invariants, via a registry of coded AST rules;
+* :func:`repro.lint.tracecheck.check_index` — differential conformance
+  of observed query traces against each policy's derived DNS footprint;
+* :func:`to_sarif` — SARIF 2.1.0 rendering of any report;
 * ``python -m repro.lint`` — all of the above from the command line.
 """
 
 from repro.lint.diagnostics import RULES, Diagnostic, LintReport, Severity, Span
+from repro.lint.dkimlint import audit_key_record, audit_signature_header, audit_zone_dkim
+from repro.lint.sarif import render_sarif, to_sarif
 from repro.lint.source import (
     DictRecordSource,
     EmptySource,
@@ -54,4 +61,9 @@ __all__ = [
     "audit_spf_domain",
     "ZoneAudit",
     "audit_zone",
+    "audit_key_record",
+    "audit_signature_header",
+    "audit_zone_dkim",
+    "to_sarif",
+    "render_sarif",
 ]

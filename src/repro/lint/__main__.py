@@ -5,14 +5,20 @@ Subcommands::
     python -m repro.lint record 'v=spf1 include:a.example.com -all'
     python -m repro.lint zone records.txt --origin example.com
     python -m repro.lint policies [t02 t18 ...]
+    python -m repro.lint dkim-key 'v=DKIM1; k=rsa; p=MIGf...'
+    python -m repro.lint dkim-sig 'v=1; a=rsa-sha256; d=...; s=sel; ...'
+    python -m repro.lint repo [path] --format text|json|sarif
     python -m repro.lint rules
     python -m repro.lint --self-check
 
 ``zone`` reads a minimal three-column record file (see ``_load_zone``);
-``policies`` audits the paper's 39 test policies statically;
-``--self-check`` runs the AST invariant checker over this very package.
-``--json`` switches any subcommand's output to JSON.  Exit status is 1
-when any ERROR-severity finding (or self-check violation) is reported.
+``policies`` audits the paper's 39 test policies statically; ``repo``
+runs the AST rule engine over a source tree (default: this very
+package) and can emit SARIF 2.1.0 for CI code-scanning upload;
+``--self-check`` is the shorthand CI uses for the same check in text
+form.  ``--json`` switches any subcommand's output to JSON.  Exit
+status is 1 when any ERROR-severity finding (or self-check violation)
+is reported.
 """
 
 from __future__ import annotations
@@ -27,6 +33,8 @@ from repro.dns.rdata import AAAARecord, ARecord, CnameRecord, MxRecord, Rdata, T
 from repro.dns.zone import Zone
 from repro.lint.astcheck import check_source_tree
 from repro.lint.diagnostics import RULES
+from repro.lint.dkimlint import audit_key_record, audit_signature_header
+from repro.lint.sarif import render_sarif
 from repro.lint.spfgraph import SpfAudit, audit_record_text
 from repro.lint.zonelint import audit_zone
 
@@ -62,6 +70,40 @@ def build_parser() -> argparse.ArgumentParser:
     policies = commands.add_parser("policies", help="audit the paper's 39 test policies")
     policies.add_argument("testids", nargs="*", help="restrict to these testids (default: all)")
 
+    dkim_key = commands.add_parser("dkim-key", help="audit one DKIM key record text")
+    dkim_key.add_argument("text", help="the TXT value at <selector>._domainkey.<domain>")
+    dkim_key.add_argument("--subject", default="", help="owner name to attach to findings")
+
+    dkim_sig = commands.add_parser("dkim-sig", help="audit one DKIM-Signature header value")
+    dkim_sig.add_argument("text", help="the header value, e.g. 'v=1; a=rsa-sha256; ...'")
+    dkim_sig.add_argument(
+        "--now",
+        type=float,
+        default=None,
+        help="epoch seconds for x= expiry checks (omitted: only static relations)",
+    )
+
+    repo = commands.add_parser(
+        "repo", help="run the AST rule engine over a source tree (SARIF-capable)"
+    )
+    repo.add_argument(
+        "path",
+        nargs="?",
+        type=Path,
+        default=None,
+        help="source tree to scan (default: the installed repro package)",
+    )
+    repo.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        dest="format",
+        help="output format (sarif emits a SARIF 2.1.0 log for CI upload)",
+    )
+    repo.add_argument(
+        "--output", type=Path, default=None, help="write the report to this file instead of stdout"
+    )
+
     commands.add_parser("rules", help="list every rule code the analyzers can fire")
     return parser
 
@@ -76,6 +118,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_zone(args)
     if args.command == "policies":
         return _cmd_policies(args)
+    if args.command == "dkim-key":
+        return _cmd_dkim(args, audit_key_record(args.text, subject=args.subject))
+    if args.command == "dkim-sig":
+        return _cmd_dkim(args, audit_signature_header(args.text, now=args.now))
+    if args.command == "repo":
+        return _cmd_repo(args)
     if args.command == "rules":
         return _cmd_rules(args)
     build_parser().print_help()
@@ -157,6 +205,30 @@ def _cmd_rules(args) -> int:
     for code, (severity, title) in RULES.items():
         print("%-9s %-8s %s" % (code, severity.name.lower(), title))
     return 0
+
+
+def _cmd_dkim(args, report) -> int:
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return 1 if report.errors else 0
+
+
+def _cmd_repo(args) -> int:
+    report = check_source_tree(args.path)
+    if args.format == "sarif":
+        rendered = render_sarif(report)
+    elif args.format == "json":
+        rendered = report.to_json()
+    else:
+        rendered = report.render_text(header="repository invariants")
+    if args.output is not None:
+        args.output.write_text(rendered + "\n", encoding="utf-8")
+        print("wrote %s report to %s" % (args.format, args.output))
+    else:
+        print(rendered)
+    return 1 if report.errors else 0
 
 
 def _cmd_self_check(args) -> int:

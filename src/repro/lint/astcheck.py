@@ -1,11 +1,18 @@
-"""Repository invariant checking over Python ASTs.
+"""Repository invariant checking over Python ASTs — a small rule engine.
 
 The reproduction's core bet is determinism: every run of the simulated
 measurement produces identical results because *all* time flows through
 the virtual :class:`~repro.net.clock.Clock` and *all* networking through
 the simulated :class:`~repro.net.network.Network`.  Those invariants are
 easy to break with one careless ``time.time()`` — so this module walks
-the ASTs of the source tree and enforces them mechanically:
+the ASTs of the source tree and enforces them mechanically.
+
+Checks are *rules* in a registry (:data:`AST_RULES`): each has a stable
+code, a set of AST node types it inspects, and a check function that
+receives the shared per-file facts (import alias map, async-function
+nesting, path-based allowances).  A single dispatcher visitor walks each
+file once and runs every applicable rule per node, so adding a rule is a
+decorated function, not a new visitor.
 
 * **AST001** — wall-clock reads (``time.time``, ``datetime.now``, ...)
   anywhere except ``net/clock.py``, the one sanctioned bridge to real
@@ -14,6 +21,16 @@ the ASTs of the source tree and enforces them mechanically:
   not be able to reach the real Internet.
 * **AST003** — bare ``except:`` clauses, which swallow the control-flow
   exceptions the evaluator uses for its abort semantics.
+* **AST004** — blocking calls (``time.sleep``, real connects,
+  subprocess waits) directly inside ``async def``: they stall any event
+  loop the coroutine runs on.
+* **AST005** — mutable default arguments, the classic shared-state trap.
+* **AST006** — naive ``datetime`` construction (no ``tzinfo``), which
+  mixes undefined timezones into timestamp math.
+
+Findings can be locally waived with an inline ``# lint: disable=CODE``
+(or ``# lint: disable=CODE1,CODE2``, or a bare ``# lint: disable`` for
+every code) on the offending line.
 
 ``check_source_tree`` runs as a tier-1 test (``tests/test_lint_astcheck.py``)
 and via ``python -m repro.lint --self-check``.
@@ -22,8 +39,10 @@ and via ``python -m repro.lint --self-check``.
 from __future__ import annotations
 
 import ast
+import re
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple, Type
 
 from repro.lint.diagnostics import LintReport
 
@@ -44,6 +63,24 @@ WALL_CLOCK_CALLS = (
     "date.today",
 )
 
+#: Call targets that block the calling thread — forbidden directly inside
+#: ``async def`` (AST004), where they stall the event loop.
+BLOCKING_CALLS = (
+    "time.sleep",
+    "socket.create_connection",
+    "socket.getaddrinfo",
+    "socket.gethostbyname",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "os.system",
+    "urllib.request.urlopen",
+    "requests.get",
+    "requests.post",
+    "requests.request",
+)
+
 #: Path suffixes (POSIX form, relative to the scanned tree) where wall-clock
 #: reads are sanctioned.  ``net/clock.py`` is the virtual clock itself.
 WALL_CLOCK_ALLOWED = ("net/clock.py",)
@@ -51,6 +88,250 @@ WALL_CLOCK_ALLOWED = ("net/clock.py",)
 #: Top-level directories (relative to the scanned tree) where importing the
 #: real ``socket`` module is sanctioned.
 SOCKET_ALLOWED_DIRS = ("net",)
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable(?:=([A-Za-z0-9_,\s]+))?")
+
+
+# -- the rule registry ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AstRule:
+    """One registered invariant: code, node types inspected, check."""
+
+    code: str
+    node_types: Tuple[Type[ast.AST], ...]
+    check: Callable[["RuleContext", ast.AST], None]
+
+
+#: code -> rule.  Populated by the :func:`rule` decorator below.
+AST_RULES: Dict[str, AstRule] = {}
+
+
+def rule(code: str, *node_types: Type[ast.AST]):
+    """Register a check function as the implementation of ``code``."""
+
+    def register(check: Callable[["RuleContext", ast.AST], None]):
+        AST_RULES[code] = AstRule(code, node_types, check)
+        return check
+
+    return register
+
+
+class RuleContext:
+    """Shared per-file facts every rule can consult."""
+
+    def __init__(self, relpath: str, report: LintReport, source: str) -> None:
+        self.relpath = relpath
+        self.report = report
+        self.clock_allowed = relpath.endswith(WALL_CLOCK_ALLOWED)
+        first_dir = relpath.split("/")[0] if "/" in relpath else ""
+        self.socket_allowed = first_dir in SOCKET_ALLOWED_DIRS
+        #: local name -> dotted origin, from imports (``from time import time``
+        #: binds ``time`` -> ``time.time``).
+        self.aliases: Dict[str, str] = {}
+        #: Nesting of enclosing functions: "async" or "sync", innermost last.
+        self.function_stack: List[str] = []
+        #: lineno -> suppressed codes (None = every code).
+        self.suppressions: Dict[int, Optional[Set[str]]] = _parse_suppressions(source)
+
+    @property
+    def in_async_function(self) -> bool:
+        """Is the *nearest* enclosing function ``async def``?"""
+        return bool(self.function_stack) and self.function_stack[-1] == "async"
+
+    def where(self, node: ast.AST) -> str:
+        return "%s:%d" % (self.relpath, getattr(node, "lineno", 0))
+
+    def suppressed(self, code: str, node: ast.AST) -> bool:
+        codes = self.suppressions.get(getattr(node, "lineno", -1), set())
+        return codes is None or code in codes
+
+    def emit(self, code: str, message: str, node: ast.AST, hint: Optional[str] = None) -> None:
+        if self.suppressed(code, node):
+            return
+        self.report.add(code, message, subject=self.where(node), hint=hint)
+
+    def resolve(self, func: ast.AST) -> Optional[str]:
+        """Dotted call target with import aliases resolved, or None."""
+        parts = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+def _parse_suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    suppressions: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), 1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        if match.group(1) is None:
+            suppressions[lineno] = None
+        else:
+            codes = {code.strip() for code in match.group(1).split(",") if code.strip()}
+            existing = suppressions.get(lineno, set())
+            suppressions[lineno] = None if existing is None else (existing | codes)
+    return suppressions
+
+
+def _matches_any(dotted: str, targets: Iterable[str]) -> Optional[str]:
+    for target in targets:
+        if dotted == target or dotted.endswith("." + target):
+            return target
+    return None
+
+
+# -- the rules -----------------------------------------------------------
+
+
+@rule("AST001", ast.Call)
+def _check_wall_clock(ctx: RuleContext, node: ast.Call) -> None:
+    if ctx.clock_allowed:
+        return
+    dotted = ctx.resolve(node.func)
+    if dotted is not None and _matches_any(dotted, WALL_CLOCK_CALLS):
+        ctx.emit(
+            "AST001",
+            "%s() reads the wall clock" % dotted,
+            node,
+            hint="take time from the Clock (or net.clock.wall_now for log stamps)",
+        )
+
+
+@rule("AST002", ast.Import, ast.ImportFrom)
+def _check_socket_import(ctx: RuleContext, node: ast.AST) -> None:
+    if ctx.socket_allowed:
+        return
+    if isinstance(node, ast.Import):
+        modules = [alias.name for alias in node.names]
+    else:
+        modules = [node.module] if node.module and node.level == 0 else []
+    for module in modules:
+        if module.split(".")[0] == "socket":
+            ctx.emit(
+                "AST002",
+                "import of %r outside net/" % module,
+                node,
+                hint="route traffic through repro.net.network",
+            )
+
+
+@rule("AST003", ast.ExceptHandler)
+def _check_bare_except(ctx: RuleContext, node: ast.ExceptHandler) -> None:
+    if node.type is None:
+        ctx.emit(
+            "AST003",
+            "bare 'except:' also catches the evaluator's control-flow exceptions",
+            node,
+            hint="catch Exception (or something narrower)",
+        )
+
+
+@rule("AST004", ast.Call)
+def _check_blocking_in_async(ctx: RuleContext, node: ast.Call) -> None:
+    if not ctx.in_async_function:
+        return
+    dotted = ctx.resolve(node.func)
+    if dotted is not None and _matches_any(dotted, BLOCKING_CALLS):
+        ctx.emit(
+            "AST004",
+            "%s() blocks the thread inside an async function" % dotted,
+            node,
+            hint="await an async equivalent or move the call off the event loop",
+        )
+
+
+@rule("AST005", ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+def _check_mutable_defaults(ctx: RuleContext, node: ast.AST) -> None:
+    arguments = node.args
+    for default in list(arguments.defaults) + [d for d in arguments.kw_defaults if d is not None]:
+        mutable = isinstance(default, (ast.List, ast.Dict, ast.Set))
+        if not mutable and isinstance(default, ast.Call):
+            dotted = ctx.resolve(default.func)
+            mutable = dotted in ("list", "dict", "set", "collections.defaultdict")
+        if mutable:
+            name = getattr(node, "name", "<lambda>")
+            ctx.emit(
+                "AST005",
+                "mutable default argument of %s() is shared across calls" % name,
+                default,
+                hint="default to None and create the container in the body",
+            )
+
+
+@rule("AST006", ast.Call)
+def _check_naive_datetime(ctx: RuleContext, node: ast.Call) -> None:
+    dotted = ctx.resolve(node.func)
+    if dotted is None:
+        return
+    keywords = {kw.arg for kw in node.keywords}
+    naive = False
+    if dotted == "datetime.datetime":
+        # datetime(y, m, d, H, M, S, us, tzinfo): 8th positional is tzinfo.
+        naive = "tzinfo" not in keywords and len(node.args) < 8
+    elif dotted == "datetime.datetime.fromtimestamp":
+        naive = "tz" not in keywords and len(node.args) < 2
+    elif dotted == "datetime.datetime.utcfromtimestamp":
+        naive = True
+    if naive:
+        ctx.emit(
+            "AST006",
+            "%s() builds a naive datetime (no tzinfo)" % dotted,
+            node,
+            hint="pass tzinfo= (e.g. timezone.utc) or keep timestamps as floats",
+        )
+
+
+# -- the dispatcher ------------------------------------------------------
+
+
+class _RuleEngine(ast.NodeVisitor):
+    """Walks a module once, feeding each node to every applicable rule."""
+
+    def __init__(self, ctx: RuleContext) -> None:
+        self.ctx = ctx
+        self._dispatch: Dict[Type[ast.AST], List[AstRule]] = {}
+        for registered in AST_RULES.values():
+            for node_type in registered.node_types:
+                self._dispatch.setdefault(node_type, []).append(registered)
+
+    def visit(self, node: ast.AST) -> None:
+        # Facts first (aliases must exist before rules inspect calls on the
+        # same line), then rules, then recursion — with function nesting
+        # tracked around the recursion into function bodies.
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            self._record_aliases(node)
+        for registered in self._dispatch.get(type(node), ()):
+            registered.check(self.ctx, node)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            kind = "async" if isinstance(node, ast.AsyncFunctionDef) else "sync"
+            self.ctx.function_stack.append(kind)
+            try:
+                self.generic_visit(node)
+            finally:
+                self.ctx.function_stack.pop()
+        else:
+            self.generic_visit(node)
+
+    def _record_aliases(self, node: ast.AST) -> None:
+        aliases = self.ctx.aliases
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                aliases[local] = alias.name if alias.asname else alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = node.module + "." + alias.name
+
+
+# -- entry points --------------------------------------------------------
 
 
 def check_source_tree(tree: Optional[Path] = None) -> LintReport:
@@ -67,91 +348,20 @@ def check_file(path: Path, relpath: str, report: LintReport) -> None:
     """Check one file; findings use ``relpath`` as the subject."""
     try:
         source = path.read_text(encoding="utf-8")
-        module = ast.parse(source, filename=relpath)
-    except (OSError, SyntaxError, ValueError) as exc:
+    except OSError as exc:
         report.add("AST000", str(exc), subject=relpath)
         return
-    _FileChecker(relpath, report).visit(module)
+    check_source(source, relpath, report)
 
 
-class _FileChecker(ast.NodeVisitor):
-    def __init__(self, relpath: str, report: LintReport) -> None:
-        self.relpath = relpath
-        self.report = report
-        self.clock_allowed = relpath.endswith(WALL_CLOCK_ALLOWED)
-        first_dir = relpath.split("/")[0] if "/" in relpath else ""
-        self.socket_allowed = first_dir in SOCKET_ALLOWED_DIRS
-        #: local name -> dotted origin, from imports (``from time import time``
-        #: binds ``time`` -> ``time.time``).
-        self.aliases: Dict[str, str] = {}
-
-    def _where(self, node: ast.AST) -> str:
-        return "%s:%d" % (self.relpath, getattr(node, "lineno", 0))
-
-    # -- imports ---------------------------------------------------------
-
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            local = alias.asname or alias.name.split(".")[0]
-            self.aliases[local] = alias.name if alias.asname else alias.name.split(".")[0]
-            self._check_socket_import(alias.name, node)
-        self.generic_visit(node)
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module and node.level == 0:
-            for alias in node.names:
-                self.aliases[alias.asname or alias.name] = node.module + "." + alias.name
-            self._check_socket_import(node.module, node)
-        self.generic_visit(node)
-
-    def _check_socket_import(self, module: str, node: ast.AST) -> None:
-        if module.split(".")[0] == "socket" and not self.socket_allowed:
-            self.report.add(
-                "AST002",
-                "import of %r outside net/" % module,
-                subject=self._where(node),
-                hint="route traffic through repro.net.network",
-            )
-
-    # -- calls -----------------------------------------------------------
-
-    def visit_Call(self, node: ast.Call) -> None:
-        dotted = self._resolve(node.func)
-        if dotted is not None and not self.clock_allowed:
-            for banned in WALL_CLOCK_CALLS:
-                if dotted == banned or dotted.endswith("." + banned):
-                    self.report.add(
-                        "AST001",
-                        "%s() reads the wall clock" % dotted,
-                        subject=self._where(node),
-                        hint="take time from the Clock (or net.clock.wall_now for log stamps)",
-                    )
-                    break
-        self.generic_visit(node)
-
-    def _resolve(self, func: ast.AST) -> Optional[str]:
-        parts = []
-        node = func
-        while isinstance(node, ast.Attribute):
-            parts.append(node.attr)
-            node = node.value
-        if not isinstance(node, ast.Name):
-            return None
-        root = self.aliases.get(node.id, node.id)
-        parts.append(root)
-        return ".".join(reversed(parts))
-
-    # -- exception handling ----------------------------------------------
-
-    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
-        if node.type is None:
-            self.report.add(
-                "AST003",
-                "bare 'except:' also catches the evaluator's control-flow exceptions",
-                subject=self._where(node),
-                hint="catch Exception (or something narrower)",
-            )
-        self.generic_visit(node)
+def check_source(source: str, relpath: str, report: LintReport) -> None:
+    """Check one file's source text; findings use ``relpath`` as the subject."""
+    try:
+        module = ast.parse(source, filename=relpath)
+    except (SyntaxError, ValueError) as exc:
+        report.add("AST000", str(exc), subject=relpath)
+        return
+    _RuleEngine(RuleContext(relpath, report, source)).visit(module)
 
 
 def iter_violations(tree: Optional[Path] = None) -> Iterable[Tuple[str, str]]:

@@ -70,11 +70,40 @@ RULES: Dict[str, Tuple[Severity, str]] = {
     "DMARC006": (Severity.WARNING, "sp= subdomain policy weaker than p="),
     "DMARC007": (Severity.ERROR, "alignment impossible: neither SPF nor DKIM identity exists"),
     "DMARC008": (Severity.INFO, "unknown DMARC tag is ignored by validators"),
+    # -- DKIM key records and signature headers (repro.lint.dkimlint) ------
+    "DKIM001": (Severity.ERROR, "DKIM key record is not parseable"),
+    "DKIM002": (Severity.WARNING, "key is revoked (empty p=); signatures can never verify"),
+    "DKIM003": (Severity.ERROR, "RSA key shorter than 1024 bits is trivially factorable"),
+    "DKIM004": (Severity.WARNING, "RSA key shorter than 2048 bits (RFC 8301 recommends 2048)"),
+    "DKIM005": (Severity.ERROR, "rsa-sha1 must not be used for signing or verifying (RFC 8301)"),
+    "DKIM006": (Severity.WARNING, "l= signs only part of the body; appended content still passes"),
+    "DKIM007": (Severity.INFO, "t=y testing flag: verifiers treat the domain as unsigned"),
+    "DKIM008": (Severity.ERROR, "signature expired (x= is in the past)"),
+    "DKIM009": (Severity.WARNING, "signature expires soon"),
+    "DKIM010": (Severity.ERROR, "x= expiration is not later than t= timestamp"),
+    "DKIM011": (Severity.ERROR, "missing required tag"),
+    "DKIM012": (Severity.ERROR, "duplicate tag in tag=value list"),
+    "DKIM013": (Severity.WARNING, "simple body canonicalization breaks on whitespace changes"),
+    "DKIM014": (Severity.ERROR, "i= identity is outside the d= signing domain"),
+    "DKIM015": (Severity.WARNING, "selector is not a valid DNS label"),
+    "DKIM016": (Severity.INFO, "unknown tag is ignored by verifiers"),
+    # -- trace conformance (repro.lint.tracecheck) -------------------------
+    "TRACE001": (Severity.ERROR, "query name impossible under the policy's derived DNS footprint"),
+    "TRACE002": (Severity.ERROR, "query type not permitted for this name in the policy footprint"),
+    "TRACE003": (Severity.ERROR, "timestamp anomaly in the attributed query stream"),
+    "TRACE004": (Severity.ERROR, "query under the IPv6-only suffix arrived over IPv4"),
+    "TRACE005": (Severity.ERROR, "SPF-walk queries observed without the walk's root TXT fetch"),
+    "TRACE006": (Severity.ERROR, "observed footprint exceeds the static worst-case prediction"),
+    "TRACE007": (Severity.WARNING, "in-suffix traffic could not be attributed"),
+    "TRACE008": (Severity.ERROR, "query attributed to a testid not in the policy catalogue"),
     # -- repository invariants (repro.lint.astcheck) ----------------------
     "AST000": (Severity.ERROR, "file does not parse"),
     "AST001": (Severity.ERROR, "wall-clock read outside net/clock.py breaks determinism"),
     "AST002": (Severity.ERROR, "real socket use outside net/ breaks the simulation boundary"),
     "AST003": (Severity.ERROR, "bare 'except:' swallows control-flow exceptions"),
+    "AST004": (Severity.ERROR, "blocking call inside 'async def' stalls the event loop"),
+    "AST005": (Severity.WARNING, "mutable default argument is shared across calls"),
+    "AST006": (Severity.WARNING, "naive datetime construction has no timezone"),
 }
 
 

@@ -1,0 +1,370 @@
+"""Static DKIM auditing (RFC 6376, hardened per RFC 8301).
+
+Completes the third protocol of the static analyzer: DKIM key records
+(the TXT at ``<selector>._domainkey.<domain>``) and ``DKIM-Signature``
+header values are audited without verifying a single signature.  The
+pass reuses the strict parsers in :mod:`repro.dkim` where they apply,
+but runs its own *tolerant* tag=value scan first — the strict
+``parse_tag_list`` silently overwrites duplicate tags and raises on the
+first malformed one, both of which are exactly the findings a linter
+must report.
+
+Zone-level entry point :func:`audit_zone_dkim` feeds
+:mod:`repro.lint.zonelint`'s "can DKIM ever align" cross-check
+(DMARC007) with real key parsing: a ``_domainkey`` name whose records
+are revoked or undecodable can never produce an aligned pass.
+
+All time-dependent checks (``x=`` expiry) take ``now`` explicitly — the
+repository's determinism invariant (AST001) bans wall-clock reads.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.dkim.errors import DkimKeyError
+from repro.dkim.rsa import RsaPublicKey
+from repro.dns.name import Name
+from repro.dns.rdata import RdataType
+from repro.dns.zone import Zone
+from repro.lint.diagnostics import LintReport
+
+#: RFC 8301: verifiers MUST support 1024..2048 and SHOULD NOT verify below.
+MIN_KEY_BITS = 1024
+#: RFC 8301: signers SHOULD sign with at least 2048-bit keys.
+RECOMMENDED_KEY_BITS = 2048
+#: ``x=`` closer than this to ``now`` draws a near-expiry warning.
+EXPIRY_WARNING_SECONDS = 7 * 86400
+
+_SIGNATURE_TAGS = frozenset("v a b bh c d h i l q s t x z".split())
+_SIGNATURE_REQUIRED = ("v", "a", "d", "s", "h", "bh", "b")
+_KEY_TAGS = frozenset("v k p t n h s".split())
+
+_LABEL_RE = re.compile(r"^(?!-)[A-Za-z0-9_-]{1,63}(?<!-)$")
+
+
+def _scan_tags(text: str, subject: str, report: LintReport) -> Optional[List[Tuple[str, str]]]:
+    """Tolerant tag=value scan preserving order and duplicates.
+
+    Returns None (after reporting DKIM001) when the list is structurally
+    broken; individual bad tags otherwise become findings but do not stop
+    the scan, so one typo does not hide every other problem.
+    """
+    tags: List[Tuple[str, str]] = []
+    for part in text.split(";"):
+        stripped = part.strip()
+        if not stripped:  # trailing ";" and ";;" are tolerated
+            continue
+        name, separator, value = stripped.partition("=")
+        name = name.strip()
+        if not separator or not re.match(r"^[a-zA-Z][a-zA-Z0-9_]*$", name):
+            report.add(
+                "DKIM001",
+                "malformed tag %r in tag=value list" % stripped,
+                subject=subject,
+                hint="every part must be name=value",
+            )
+            return None
+        tags.append((name, re.sub(r"\s+", "", value)))
+    seen: Set[str] = set()
+    for name, _ in tags:
+        if name in seen:
+            report.add(
+                "DKIM012",
+                "tag %s= appears more than once; verifiers reject the list" % name,
+                subject=subject,
+                hint="keep the first occurrence only",
+            )
+        seen.add(name)
+    return tags
+
+
+def _first(tags: Iterable[Tuple[str, str]], name: str) -> Optional[str]:
+    for tag, value in tags:
+        if tag == name:
+            return value
+    return None
+
+
+def _check_selector(selector: str, subject: str, report: LintReport) -> None:
+    labels = selector.split(".") if selector else [""]
+    for label in labels:
+        if not _LABEL_RE.match(label):
+            report.add(
+                "DKIM015",
+                "selector %r is not a valid DNS label sequence" % selector,
+                subject=subject,
+                hint="use letters, digits, '_' and interior '-' only, 1-63 chars per label",
+            )
+            return
+
+
+# -- key records ---------------------------------------------------------
+
+
+def audit_key_record(
+    text: str, subject: str = "", report: Optional[LintReport] = None
+) -> LintReport:
+    """Audit one DKIM key record (the TXT value)."""
+    if report is None:
+        report = LintReport()
+    tags = _scan_tags(text, subject, report)
+    if tags is None:
+        return report
+    for name, value in tags:
+        if name not in _KEY_TAGS:
+            report.add(
+                "DKIM016", "unknown key-record tag %s=%s" % (name, value), subject=subject
+            )
+    version = _first(tags, "v")
+    if version is not None and version != "DKIM1":
+        report.add(
+            "DKIM001",
+            "unsupported key record version %r" % version,
+            subject=subject,
+            hint="v=DKIM1, and it must be the first tag when present",
+        )
+        return report
+    if version is not None and tags and tags[0][0] != "v":
+        report.add(
+            "DKIM001",
+            "v= must be the first tag of a key record (RFC 6376 s3.6.1)",
+            subject=subject,
+        )
+    key_type = _first(tags, "k")
+    if key_type is not None and key_type != "rsa":
+        report.add(
+            "DKIM001",
+            "unsupported key type k=%s; verifiers treat the key as unusable" % key_type,
+            subject=subject,
+        )
+        return report
+    hashes = _first(tags, "h")
+    if hashes is not None:
+        accepted = [h for h in hashes.lower().split(":") if h]
+        if accepted and "sha256" not in accepted:
+            report.add(
+                "DKIM005",
+                "key h=%s accepts no sha256 signatures (RFC 8301 forbids sha1)" % hashes,
+                subject=subject,
+                hint="allow sha256 or drop the h= restriction",
+            )
+    flags = [f for f in (_first(tags, "t") or "").split(":") if f]
+    if "y" in flags:
+        report.add(
+            "DKIM007",
+            "t=y marks the domain as testing; verifiers ignore failures",
+            subject=subject,
+            hint="remove the flag once rollout is done",
+        )
+    public = _first(tags, "p")
+    if public is None:
+        report.add(
+            "DKIM011", "key record is missing the required p= tag", subject=subject
+        )
+        return report
+    if public == "":
+        report.add(
+            "DKIM002",
+            "p= is empty: the key is revoked and every signature fails",
+            subject=subject,
+        )
+        return report
+    try:
+        key = RsaPublicKey.from_base64(public)
+    except DkimKeyError as exc:
+        report.add(
+            "DKIM001", "p= is not a decodable RSA public key: %s" % exc, subject=subject
+        )
+        return report
+    bits = key.n.bit_length()
+    if bits < MIN_KEY_BITS:
+        report.add(
+            "DKIM003",
+            "%d-bit RSA key; RFC 8301 verifiers must not accept below %d"
+            % (bits, MIN_KEY_BITS),
+            subject=subject,
+            hint="rotate to a 2048-bit key",
+        )
+    elif bits < RECOMMENDED_KEY_BITS:
+        report.add(
+            "DKIM004",
+            "%d-bit RSA key; RFC 8301 recommends %d" % (bits, RECOMMENDED_KEY_BITS),
+            subject=subject,
+            hint="rotate to a 2048-bit key",
+        )
+    return report
+
+
+def key_is_usable(text: str) -> bool:
+    """Can this key record ever contribute an aligned DKIM pass?
+
+    Parsed leniently but honestly: unparseable, revoked, undecodable, or
+    non-RSA keys can never verify anything.
+    """
+    report = audit_key_record(text)
+    return not any(d.code in ("DKIM001", "DKIM002", "DKIM011") for d in report.diagnostics)
+
+
+# -- signature headers ---------------------------------------------------
+
+
+def audit_signature_header(
+    text: str,
+    subject: str = "",
+    now: Optional[float] = None,
+    report: Optional[LintReport] = None,
+) -> LintReport:
+    """Audit one ``DKIM-Signature`` header value.
+
+    ``now`` (virtual or wall seconds, caller's choice) enables the
+    expiry checks; without it only the static ``x= <= t=`` relation is
+    checked.
+    """
+    if report is None:
+        report = LintReport()
+    tags = _scan_tags(text, subject, report)
+    if tags is None:
+        return report
+    for name, value in tags:
+        if name not in _SIGNATURE_TAGS:
+            report.add(
+                "DKIM016", "unknown signature tag %s=%s" % (name, value), subject=subject
+            )
+    for required in _SIGNATURE_REQUIRED:
+        if _first(tags, required) is None:
+            report.add(
+                "DKIM011",
+                "signature is missing the required %s= tag" % required,
+                subject=subject,
+            )
+    version = _first(tags, "v")
+    if version is not None and version != "1":
+        report.add("DKIM001", "unsupported signature version v=%s" % version, subject=subject)
+    algorithm = _first(tags, "a")
+    if algorithm is not None and algorithm.lower() == "rsa-sha1":
+        report.add(
+            "DKIM005",
+            "a=rsa-sha1 signatures are forbidden by RFC 8301",
+            subject=subject,
+            hint="sign with rsa-sha256",
+        )
+    length = _first(tags, "l")
+    if length is not None:
+        report.add(
+            "DKIM006",
+            "l=%s limits the body hash; content appended after that offset "
+            "survives verification" % length,
+            subject=subject,
+            hint="drop l= and sign the whole body",
+        )
+    canonicalization = _first(tags, "c")
+    if canonicalization is not None:
+        parts = canonicalization.lower().split("/", 1)
+        header_canon = parts[0]
+        body_canon = parts[1] if len(parts) == 2 else "simple"
+        if header_canon not in ("simple", "relaxed") or body_canon not in ("simple", "relaxed"):
+            report.add(
+                "DKIM001", "unknown canonicalization c=%s" % canonicalization, subject=subject
+            )
+        elif body_canon == "simple":
+            report.add(
+                "DKIM013",
+                "c=%s: simple body canonicalization breaks on any trailing-"
+                "whitespace rewrite in transit" % canonicalization,
+                subject=subject,
+                hint="use relaxed body canonicalization",
+            )
+    headers = _first(tags, "h")
+    if headers is not None:
+        signed = [h.strip().lower() for h in headers.split(":") if h.strip()]
+        if "from" not in signed:
+            report.add(
+                "DKIM011",
+                "h= does not include From; RFC 6376 requires it",
+                subject=subject,
+            )
+    selector = _first(tags, "s")
+    if selector is not None:
+        _check_selector(selector, subject, report)
+    domain = _first(tags, "d")
+    identity = _first(tags, "i")
+    if identity is not None and domain:
+        identity_domain = identity.rpartition("@")[2]
+        if identity_domain and not Name(identity_domain).is_subdomain_of(Name(domain)):
+            report.add(
+                "DKIM014",
+                "i=%s is not within the d=%s signing domain" % (identity, domain),
+                subject=subject,
+            )
+    timestamp = _int_tag(tags, "t", subject, report)
+    expiration = _int_tag(tags, "x", subject, report)
+    if expiration is not None:
+        if timestamp is not None and expiration <= timestamp:
+            report.add(
+                "DKIM010",
+                "x=%d is not later than t=%d; the signature never validates"
+                % (expiration, timestamp),
+                subject=subject,
+            )
+        elif now is not None:
+            if expiration <= now:
+                report.add(
+                    "DKIM008",
+                    "signature expired at x=%d (now %d)" % (expiration, int(now)),
+                    subject=subject,
+                )
+            elif expiration - now < EXPIRY_WARNING_SECONDS:
+                report.add(
+                    "DKIM009",
+                    "signature expires in %d seconds" % int(expiration - now),
+                    subject=subject,
+                )
+    return report
+
+
+def _int_tag(
+    tags: List[Tuple[str, str]], name: str, subject: str, report: LintReport
+) -> Optional[int]:
+    value = _first(tags, name)
+    if value is None:
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        report.add("DKIM001", "non-numeric %s= tag %r" % (name, value), subject=subject)
+        return None
+
+
+# -- zone-level sweep ----------------------------------------------------
+
+
+def audit_zone_dkim(zone: Zone) -> Tuple[LintReport, Set[Tuple[str, ...]]]:
+    """Audit every ``_domainkey`` TXT rrset in ``zone``.
+
+    Returns the findings plus the set of domain name-keys (lowercased
+    label tuples) that publish at least one *usable* key — the real
+    answer to "can DKIM ever align here", replacing the name-existence
+    heuristic zonelint used before.
+    """
+    report = LintReport()
+    usable: Set[Tuple[str, ...]] = set()
+    for owner, rdtype, records in zone.rrsets():
+        if rdtype != RdataType.TXT:
+            continue
+        labels = [label.lower() for label in owner.labels]
+        if "_domainkey" not in labels:
+            continue
+        position = labels.index("_domainkey")
+        subject = owner.to_text(omit_final_dot=True)
+        selector_labels = labels[:position]
+        domain_key = tuple(labels[position + 1 :])
+        if selector_labels:
+            _check_selector(".".join(selector_labels), subject, report)
+        for rr in records:
+            text = rr.rdata.text
+            audit_key_record(text, subject=subject, report=report)
+            if key_is_usable(text):
+                usable.add(domain_key)
+    return report, usable

@@ -1,0 +1,120 @@
+"""SARIF 2.1.0 rendering of a :class:`~repro.lint.diagnostics.LintReport`.
+
+SARIF (Static Analysis Results Interchange Format, OASIS) is the lingua
+franca CI systems ingest for code-scanning annotations.  The auditor's
+diagnostics map onto it naturally: the :data:`~repro.lint.diagnostics.RULES`
+registry becomes ``tool.driver.rules`` and each finding becomes a
+``result`` pointing at its rule by index.
+
+Subjects of the form ``path:line`` (the shape :mod:`repro.lint.astcheck`
+emits) become physical locations with a region; any other subject (a
+domain name, a record) is carried as a logical location, since SARIF has
+no notion of DNS names.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import List, Optional, Tuple
+
+from repro.lint.diagnostics import RULES, Diagnostic, LintReport, Severity
+
+#: SARIF schema pinned by the spec; consumers validate against it.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+TOOL_NAME = "repro.lint"
+TOOL_URI = "https://example.org/repro/lint"  # informationUri is required-ish by consumers
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+_FILE_LINE_RE = re.compile(r"^(?P<path>[^\s:]+\.py):(?P<line>\d+)$")
+
+
+def _split_subject(subject: str) -> Tuple[Optional[str], Optional[int]]:
+    """``"core/loop.py:17"`` -> ``("core/loop.py", 17)``; else ``(None, None)``."""
+    match = _FILE_LINE_RE.match(subject)
+    if match is None:
+        return None, None
+    return match.group("path"), int(match.group("line"))
+
+
+def _rule_ids() -> List[str]:
+    """Registry codes in their (stable) declaration order."""
+    return list(RULES)
+
+
+def _result(diagnostic: Diagnostic, rule_index: dict) -> dict:
+    message = diagnostic.message
+    if diagnostic.hint:
+        message += " (fix: %s)" % diagnostic.hint
+    result = {
+        "ruleId": diagnostic.code,
+        "ruleIndex": rule_index[diagnostic.code],
+        "level": _LEVELS[diagnostic.severity],
+        "message": {"text": message},
+    }
+    path, line = _split_subject(diagnostic.subject)
+    if path is not None:
+        region = {"startLine": line}
+        if diagnostic.span is not None:
+            region["startColumn"] = diagnostic.span.start + 1
+            region["endColumn"] = diagnostic.span.end + 1
+        result["locations"] = [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": path},
+                    "region": region,
+                }
+            }
+        ]
+    elif diagnostic.subject:
+        result["locations"] = [
+            {
+                "logicalLocations": [
+                    {"fullyQualifiedName": diagnostic.subject, "kind": "namespace"}
+                ]
+            }
+        ]
+    return result
+
+
+def to_sarif(report: LintReport, tool_version: str = "0") -> dict:
+    """Render ``report`` as a SARIF 2.1.0 log object (a plain dict)."""
+    codes = _rule_ids()
+    rule_index = {code: i for i, code in enumerate(codes)}
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": RULES[code][1]},
+            "defaultConfiguration": {"level": _LEVELS[RULES[code][0]]},
+        }
+        for code in codes
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": tool_version,
+                        "informationUri": TOOL_URI,
+                        "rules": rules,
+                    }
+                },
+                "results": [_result(d, rule_index) for d in report.diagnostics],
+            }
+        ],
+    }
+
+
+def render_sarif(report: LintReport, tool_version: str = "0") -> str:
+    """``to_sarif`` serialized with stable formatting."""
+    return json.dumps(to_sarif(report, tool_version), indent=2, sort_keys=False)

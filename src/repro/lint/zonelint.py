@@ -16,13 +16,14 @@ sender-authentication posture the paper measures end to end:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.dmarc.record import DmarcPolicy, DmarcRecord, DmarcRecordError, looks_like_dmarc
 from repro.dns.name import Name
 from repro.dns.rdata import RdataType
 from repro.dns.zone import Zone
 from repro.lint.diagnostics import LintReport
+from repro.lint.dkimlint import audit_zone_dkim
 from repro.lint.source import ZoneRecordSource
 from repro.lint.spfgraph import SpfAudit, SpfLimits, audit_spf_domain
 from repro.spf.terms import looks_like_spf
@@ -43,6 +44,8 @@ class ZoneAudit:
     report: LintReport = field(default_factory=LintReport)
     #: Per-publisher SPF audits, keyed by domain (no trailing dot).
     spf_audits: Dict[str, SpfAudit] = field(default_factory=dict)
+    #: Domain name-keys (lowercased label tuples) with a usable DKIM key.
+    dkim_domains: Set[tuple] = field(default_factory=set)
 
     @property
     def clean(self) -> bool:
@@ -53,12 +56,16 @@ def audit_zone(zone: Zone, limits: Optional[SpfLimits] = None) -> ZoneAudit:
     """Statically audit every SPF/DMARC publisher in ``zone``."""
     source = ZoneRecordSource(zone)
     audit = ZoneAudit(origin=zone.origin.to_text(omit_final_dot=True))
+    dkim_report, audit.dkim_domains = audit_zone_dkim(zone)
+    audit.report.extend(dkim_report)
 
     spf_publishers: List[Name] = []
     dmarc_owners: List[Name] = []
     for owner, rdtype, records in zone.rrsets():
         if rdtype != RdataType.TXT:
             continue
+        if "_domainkey" in (label.lower() for label in owner.labels):
+            continue  # audited by audit_zone_dkim above
         texts = [rr.rdata.text for rr in records]
         if owner.labels and owner.labels[0].lower() == "_dmarc":
             if any(looks_like_dmarc(t) for t in texts):
@@ -79,18 +86,20 @@ def audit_zone(zone: Zone, limits: Optional[SpfLimits] = None) -> ZoneAudit:
     for owner in spf_publishers:
         dmarc_name = owner.child("_dmarc")
         checked.add(dmarc_name.key)
-        _check_dmarc(zone, source, dmarc_name, owner, audit.report, spf_published=True)
+        _check_dmarc(audit.dkim_domains, source, dmarc_name, owner, audit.report, spf_published=True)
     # DMARC records whose parent publishes no SPF still deserve a parse check.
     for owner in dmarc_owners:
         if owner.key in checked:
             continue
-        _check_dmarc(zone, source, owner, owner.parent(), audit.report, spf_published=False)
+        _check_dmarc(
+            audit.dkim_domains, source, owner, owner.parent(), audit.report, spf_published=False
+        )
 
     return audit
 
 
 def _check_dmarc(
-    zone: Zone,
+    dkim_domains: Set[tuple],
     source: ZoneRecordSource,
     dmarc_name: Name,
     domain: Name,
@@ -122,11 +131,11 @@ def _check_dmarc(
     except DmarcRecordError as exc:
         report.add("DMARC003", str(exc), subject=subject)
         return
-    _check_dmarc_record(zone, record, domain, subject, report, spf_published)
+    _check_dmarc_record(dkim_domains, record, domain, subject, report, spf_published)
 
 
 def _check_dmarc_record(
-    zone: Zone,
+    dkim_domains: Set[tuple],
     record: DmarcRecord,
     domain: Name,
     subject: str,
@@ -163,14 +172,17 @@ def _check_dmarc_record(
             subject=subject,
         )
     # Alignment feasibility from zone data alone: an aligned SPF pass needs
-    # an SPF record at the domain; an aligned DKIM pass needs a key under
-    # _domainkey.<domain>.  Neither being possible means every message
-    # fails DMARC no matter how it is sent.
-    dkim_possible = zone.contains_name(domain.child("_domainkey"))
+    # an SPF record at the domain; an aligned DKIM pass needs a *usable*
+    # key under _domainkey.<domain> — parsed by repro.lint.dkimlint, so a
+    # name that exists but holds only revoked or undecodable keys no
+    # longer counts.  Neither being possible means every message fails
+    # DMARC no matter how it is sent.
+    dkim_possible = domain.key in dkim_domains
     if not spf_published and not dkim_possible:
         report.add(
             "DMARC007",
-            "no SPF record and no _domainkey.%s keys: no identity can ever align" % subject,
+            "no SPF record and no usable _domainkey.%s keys: no identity can ever align"
+            % subject,
             subject=subject,
-            hint="publish SPF or DKIM for the domain",
+            hint="publish SPF or a valid DKIM key for the domain",
         )

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.probe import DEFAULT_USERNAMES, ProbeClient
-from repro.core.querylog import QueryIndex, attribute_queries
+from repro.core.querylog import QueryIndex, attribute_queries, attribute_queries_with_stats
 from repro.core.synth import SynthConfig, SynthesizingAuthority
 from repro.dns.name import Name
 from repro.dns.rdata import RdataType
@@ -168,3 +168,69 @@ class TestAttribution:
         assert index.tests_with_activity("m1") == {"t01", "t02"}
         assert index.for_mta("m2")[0].testid == "t01"
         assert index.for_pair("m9", "t01") == []
+
+
+class TestAttributionStats:
+    def _entry(self, qname, qtype=RdataType.TXT, t=1.0, transport="udp", client="203.0.113.1"):
+        return QueryLogEntry(t, Name(qname), qtype, transport, client)
+
+    def test_per_reason_accounting(self):
+        entries = [
+            self._entry("l1.t02.m1.spf-test.dns-lab.org"),  # attributed (probe)
+            self._entry("d9.dsav-mail.dns-lab.org"),  # attributed (notify)
+            self._entry("www.example.com"),  # foreign
+            self._entry("orphan.spf-test.dns-lab.org"),  # in-suffix, too short
+            self._entry("dsav-mail.dns-lab.org"),  # the bare suffix: too short
+        ]
+        attributed, stats = attribute_queries_with_stats(entries)
+        assert stats.total == 5
+        assert stats.attributed == len(attributed) == 2
+        assert stats.by_experiment == {"probe": 1, "notify": 1}
+        assert stats.dropped_foreign == 1
+        assert stats.dropped_short == 2
+        assert stats.dropped == 3
+        assert [str(e.qname) for e in stats.short_entries] == [
+            "orphan.spf-test.dns-lab.org.",
+            "dsav-mail.dns-lab.org.",
+        ]
+
+    def test_attribute_queries_is_the_stats_variant_minus_stats(self):
+        entries = [self._entry("t01.m1.spf-test.dns-lab.org")]
+        assert attribute_queries(entries) == attribute_queries_with_stats(entries)[0]
+
+    def test_clean_stats(self):
+        attributed, stats = attribute_queries_with_stats([])
+        assert attributed == [] and stats.total == stats.dropped == 0
+
+
+class TestIndexCrossMaps:
+    def _entry(self, qname, t=1.0):
+        return QueryLogEntry(t, Name(qname), RdataType.TXT, "udp", "203.0.113.1")
+
+    def _index(self):
+        return QueryIndex(
+            attribute_queries(
+                [
+                    self._entry("t01.m1.spf-test.dns-lab.org", t=1.0),
+                    self._entry("t02.m1.spf-test.dns-lab.org", t=2.0),
+                    self._entry("t01.m2.spf-test.dns-lab.org", t=3.0),
+                ]
+            )
+        )
+
+    def test_pairs_enumeration(self):
+        assert sorted(self._index().pairs()) == [("m1", "t01"), ("m1", "t02"), ("m2", "t01")]
+
+    def test_precomputed_maps_agree_with_scans(self):
+        index = self._index()
+        for testid in ("t01", "t02", "t99"):
+            scan = {q.mtaid for q in index.queries if q.testid == testid}
+            assert index.mtas_observed(testid) == scan
+        for mtaid in ("m1", "m2", "m9"):
+            scan = {q.testid for q in index.queries if q.mtaid == mtaid}
+            assert index.tests_with_activity(mtaid) == scan
+
+    def test_returned_sets_are_copies(self):
+        index = self._index()
+        index.mtas_observed("t01").add("tampered")
+        assert "tampered" not in index.mtas_observed("t01")

@@ -3,7 +3,7 @@ that the repro package itself is clean."""
 
 import textwrap
 
-from repro.lint.astcheck import check_file, check_source_tree
+from repro.lint.astcheck import AST_RULES, check_file, check_source, check_source_tree
 from repro.lint.diagnostics import LintReport
 
 
@@ -141,6 +141,210 @@ class TestUnparseable:
     def test_syntax_error_reported(self, tmp_path):
         report = _check(tmp_path, "core/broken.py", "def f(:\n")
         assert report.codes() == ["AST000"]
+
+
+def _check_src(relpath, source):
+    report = LintReport()
+    check_source(textwrap.dedent(source), relpath, report)
+    return report
+
+
+class TestRegistry:
+    def test_every_rule_has_a_registry_entry(self):
+        from repro.lint.diagnostics import RULES
+
+        for code in AST_RULES:
+            assert code in RULES, code
+
+
+class TestBlockingInAsync:
+    def test_blocking_call_in_async_def_flagged(self):
+        report = _check_src(
+            "core/bad.py",
+            """
+            import subprocess
+            async def deliver():
+                subprocess.run(["sendmail"])
+            """,
+        )
+        assert report.codes() == ["AST004"]
+
+    def test_same_call_in_sync_def_fine(self):
+        report = _check_src(
+            "core/good.py",
+            """
+            import subprocess
+            def deliver():
+                subprocess.run(["sendmail"])
+            """,
+        )
+        assert report.diagnostics == []
+
+    def test_nested_sync_def_shields_the_call(self):
+        # The nearest enclosing function decides: a sync helper defined
+        # inside a coroutine is not itself running on the event loop.
+        report = _check_src(
+            "core/good.py",
+            """
+            import subprocess
+            async def deliver():
+                def helper():
+                    subprocess.run(["sendmail"])
+                return helper
+            """,
+        )
+        assert not report.has("AST004")
+
+    def test_time_sleep_in_async_draws_both_rules(self):
+        report = _check_src(
+            "core/bad.py",
+            """
+            import time
+            async def wait():
+                time.sleep(1.0)
+            """,
+        )
+        assert sorted(report.codes()) == ["AST001", "AST004"]
+
+
+class TestMutableDefaults:
+    def test_list_literal_default_flagged(self):
+        report = _check_src(
+            "core/bad.py",
+            """
+            def collect(seen=[]):
+                return seen
+            """,
+        )
+        assert report.codes() == ["AST005"]
+
+    def test_dict_call_default_flagged(self):
+        report = _check_src(
+            "core/bad.py",
+            """
+            def collect(*, seen=dict()):
+                return seen
+            """,
+        )
+        assert report.codes() == ["AST005"]
+
+    def test_none_and_tuple_defaults_fine(self):
+        report = _check_src(
+            "core/good.py",
+            """
+            def collect(seen=None, pair=(1, 2)):
+                return seen, pair
+            """,
+        )
+        assert report.diagnostics == []
+
+
+class TestNaiveDatetime:
+    def test_constructor_without_tzinfo_flagged(self):
+        report = _check_src(
+            "core/bad.py",
+            """
+            from datetime import datetime
+            when = datetime(2021, 3, 1)
+            """,
+        )
+        assert report.codes() == ["AST006"]
+
+    def test_constructor_with_tzinfo_fine(self):
+        report = _check_src(
+            "core/good.py",
+            """
+            from datetime import datetime, timezone
+            when = datetime(2021, 3, 1, tzinfo=timezone.utc)
+            """,
+        )
+        assert report.diagnostics == []
+
+    def test_fromtimestamp_without_tz_flagged(self):
+        report = _check_src(
+            "core/bad.py",
+            """
+            import datetime
+            when = datetime.datetime.fromtimestamp(0)
+            """,
+        )
+        assert report.codes() == ["AST006"]
+
+    def test_fromtimestamp_with_tz_fine(self):
+        report = _check_src(
+            "core/good.py",
+            """
+            import datetime
+            when = datetime.datetime.fromtimestamp(0, tz=datetime.timezone.utc)
+            """,
+        )
+        assert report.diagnostics == []
+
+    def test_utcfromtimestamp_always_flagged(self):
+        report = _check_src(
+            "core/bad.py",
+            """
+            import datetime
+            when = datetime.datetime.utcfromtimestamp(0)
+            """,
+        )
+        assert report.codes() == ["AST006"]
+
+
+class TestSuppressions:
+    def test_disable_specific_code(self):
+        report = _check_src(
+            "core/waived.py",
+            """
+            import time
+            stamp = time.time()  # lint: disable=AST001
+            """,
+        )
+        assert report.diagnostics == []
+
+    def test_disable_wrong_code_does_not_waive(self):
+        report = _check_src(
+            "core/bad.py",
+            """
+            import time
+            stamp = time.time()  # lint: disable=AST003
+            """,
+        )
+        assert report.codes() == ["AST001"]
+
+    def test_bare_disable_waives_everything(self):
+        report = _check_src(
+            "core/waived.py",
+            """
+            import time
+            import socket  # lint: disable
+            stamp = time.time()  # lint: disable
+            """,
+        )
+        assert report.diagnostics == []
+
+    def test_disable_list_of_codes(self):
+        report = _check_src(
+            "core/waived.py",
+            """
+            import time
+            async def wait():
+                time.sleep(1.0)  # lint: disable=AST001,AST004
+            """,
+        )
+        assert report.diagnostics == []
+
+    def test_suppression_is_per_line(self):
+        report = _check_src(
+            "core/bad.py",
+            """
+            import time
+            a = time.time()  # lint: disable=AST001
+            b = time.time()
+            """,
+        )
+        assert report.codes() == ["AST001"]
+        assert report.diagnostics[0].subject.endswith(":4")
 
 
 class TestPlantedTree:

@@ -1,0 +1,195 @@
+"""Tests for the static DKIM auditor (repro.lint.dkimlint): one
+injected-fault test per rule, plus the zone sweep feeding DMARC007."""
+
+import pytest
+
+from repro.dkim.rsa import generate_keypair
+from repro.dns.rdata import TxtRecord
+from repro.dns.zone import Zone
+from repro.lint.dkimlint import (
+    EXPIRY_WARNING_SECONDS,
+    audit_key_record,
+    audit_signature_header,
+    audit_zone_dkim,
+    key_is_usable,
+)
+
+KEY_1024 = generate_keypair(1024, seed=7).public.to_base64()
+KEY_512 = generate_keypair(512, seed=8).public.to_base64()
+
+GOOD_KEY = "v=DKIM1; k=rsa; p=%s" % KEY_1024
+
+
+def _sig(**overrides):
+    tags = {
+        "v": "1",
+        "a": "rsa-sha256",
+        "c": "relaxed/relaxed",
+        "d": "example.com",
+        "s": "sel",
+        "h": "from:to:subject",
+        "bh": "aGFzaA==",
+        "b": "c2ln",
+    }
+    tags.update(overrides)
+    return "; ".join("%s=%s" % (k, v) for k, v in tags.items() if v is not None)
+
+
+class TestKeyRecords:
+    def test_good_1024_bit_key_warns_only_on_size(self):
+        report = audit_key_record(GOOD_KEY)
+        assert report.codes() == ["DKIM004"]
+        assert not report.errors
+
+    def test_dkim001_malformed_tag_list(self):
+        report = audit_key_record("v=DKIM1; no-equals-sign-here")
+        assert report.codes() == ["DKIM001"]
+
+    def test_dkim001_wrong_version(self):
+        assert audit_key_record("v=DKIM2; p=%s" % KEY_1024).codes() == ["DKIM001"]
+
+    def test_dkim001_version_not_first(self):
+        report = audit_key_record("k=rsa; v=DKIM1; p=%s" % KEY_1024)
+        assert report.has("DKIM001")
+
+    def test_dkim001_unsupported_key_type(self):
+        assert audit_key_record("v=DKIM1; k=ed25519; p=abc").codes() == ["DKIM001"]
+
+    def test_dkim001_undecodable_key(self):
+        assert audit_key_record("v=DKIM1; k=rsa; p=!!!notbase64!!!").codes() == ["DKIM001"]
+
+    def test_dkim002_revoked_key(self):
+        assert audit_key_record("v=DKIM1; k=rsa; p=").codes() == ["DKIM002"]
+
+    def test_dkim003_short_key(self):
+        report = audit_key_record("v=DKIM1; k=rsa; p=%s" % KEY_512)
+        assert report.codes() == ["DKIM003"]
+
+    def test_dkim005_key_forbids_sha256(self):
+        report = audit_key_record("v=DKIM1; k=rsa; h=sha1; p=%s" % KEY_1024)
+        assert report.has("DKIM005")
+
+    def test_dkim007_testing_flag(self):
+        report = audit_key_record("v=DKIM1; k=rsa; t=y; p=%s" % KEY_1024)
+        assert report.has("DKIM007")
+
+    def test_dkim011_missing_p(self):
+        assert audit_key_record("v=DKIM1; k=rsa").codes() == ["DKIM011"]
+
+    def test_dkim012_duplicate_tag(self):
+        report = audit_key_record("v=DKIM1; k=rsa; k=rsa; p=%s" % KEY_1024)
+        assert report.has("DKIM012")
+
+    def test_dkim016_unknown_tag(self):
+        report = audit_key_record("v=DKIM1; k=rsa; zz=1; p=%s" % KEY_1024)
+        assert report.has("DKIM016")
+
+
+class TestKeyUsability:
+    @pytest.mark.parametrize(
+        "text,usable",
+        [
+            (GOOD_KEY, True),
+            ("v=DKIM1; k=rsa; p=%s" % KEY_512, True),  # weak but functional
+            ("v=DKIM1; k=rsa; p=", False),  # revoked
+            ("v=DKIM1; k=rsa", False),  # no key material
+            ("v=DKIM1; k=rsa; p=!!!", False),  # undecodable
+            ("not a tag list at all", False),
+        ],
+    )
+    def test_usability(self, text, usable):
+        assert key_is_usable(text) is usable
+
+
+class TestSignatureHeaders:
+    def test_clean_signature(self):
+        assert audit_signature_header(_sig()).diagnostics == []
+
+    def test_dkim001_bad_version(self):
+        assert audit_signature_header(_sig(v="2")).has("DKIM001")
+
+    def test_dkim001_unknown_canonicalization(self):
+        assert audit_signature_header(_sig(c="mangled/relaxed")).has("DKIM001")
+
+    def test_dkim001_non_numeric_timestamp(self):
+        assert audit_signature_header(_sig(t="soon")).has("DKIM001")
+
+    def test_dkim005_rsa_sha1(self):
+        assert audit_signature_header(_sig(a="rsa-sha1")).has("DKIM005")
+
+    def test_dkim006_partial_body(self):
+        assert audit_signature_header(_sig(l="512")).has("DKIM006")
+
+    def test_dkim008_expired(self):
+        report = audit_signature_header(_sig(x="1000"), now=2000.0)
+        assert report.has("DKIM008")
+
+    def test_dkim009_near_expiry(self):
+        report = audit_signature_header(
+            _sig(x=str(int(2000 + EXPIRY_WARNING_SECONDS // 2))), now=2000.0
+        )
+        assert report.codes() == ["DKIM009"]
+
+    def test_no_expiry_findings_without_now(self):
+        report = audit_signature_header(_sig(x="1000"))
+        assert not report.has("DKIM008") and not report.has("DKIM009")
+
+    def test_dkim010_x_before_t(self):
+        report = audit_signature_header(_sig(t="2000", x="1000"))
+        assert report.has("DKIM010")
+
+    def test_dkim011_missing_required_tag(self):
+        assert audit_signature_header(_sig(bh=None)).has("DKIM011")
+
+    def test_dkim011_from_not_signed(self):
+        assert audit_signature_header(_sig(h="to:subject")).has("DKIM011")
+
+    def test_dkim013_simple_body_canonicalization(self):
+        assert audit_signature_header(_sig(c="relaxed/simple")).has("DKIM013")
+
+    def test_dkim013_default_body_is_simple(self):
+        assert audit_signature_header(_sig(c="relaxed")).has("DKIM013")
+
+    def test_dkim014_identity_outside_domain(self):
+        report = audit_signature_header(_sig(i="@other.example.org"))
+        assert report.has("DKIM014")
+
+    def test_identity_inside_domain_fine(self):
+        report = audit_signature_header(_sig(i="@mail.example.com"))
+        assert not report.has("DKIM014")
+
+    def test_dkim015_invalid_selector(self):
+        assert audit_signature_header(_sig(s="-bad-")).has("DKIM015")
+
+    def test_dkim016_unknown_tag(self):
+        assert audit_signature_header(_sig(zz="1")).has("DKIM016")
+
+
+class TestZoneSweep:
+    def test_usable_and_unusable_domains(self):
+        zone = Zone("example.com")
+        zone.add("s1._domainkey.good.example.com", TxtRecord(GOOD_KEY))
+        zone.add("s1._domainkey.dead.example.com", TxtRecord("v=DKIM1; k=rsa; p="))
+        report, usable = audit_zone_dkim(zone)
+        assert ("good", "example", "com") in usable
+        assert all(key[:1] != ("dead",) for key in usable)
+        assert report.has("DKIM002")
+
+    def test_one_usable_key_among_bad_ones_counts(self):
+        zone = Zone("example.com")
+        zone.add("s1._domainkey.example.com", TxtRecord("v=DKIM1; k=rsa; p="))
+        zone.add("s2._domainkey.example.com", TxtRecord(GOOD_KEY))
+        _, usable = audit_zone_dkim(zone)
+        assert ("example", "com") in usable
+
+    def test_selector_label_checked(self):
+        zone = Zone("example.com")
+        zone.add("-oops-._domainkey.example.com", TxtRecord(GOOD_KEY))
+        report, _ = audit_zone_dkim(zone)
+        assert report.has("DKIM015")
+
+    def test_non_dkim_names_ignored(self):
+        zone = Zone("example.com")
+        zone.add("www.example.com", TxtRecord("hello"))
+        report, usable = audit_zone_dkim(zone)
+        assert report.diagnostics == [] and usable == set()
