@@ -1,0 +1,165 @@
+"""Observability overhead: live Observability vs the no-op fast path.
+
+The obs layer is on by default (OBSERVABILITY.md), so it has to be cheap.
+This bench runs identical campaigns twice — once with a live
+:class:`~repro.obs.Observability` bundle, once with ``NULL_OBS`` — and
+gates the relative slowdown of the paper's primary workload, the
+NotifyEmail delivery campaign, at **< 5 %**.
+
+Methodology, because shared machines are noisy:
+
+* CPU time (``time.process_time``), not wall clock, so scheduler
+  preemption does not count against whichever arm it happens to hit;
+* the arms run interleaved in live/null pairs, so slow frequency drift
+  lands on both equally;
+* ``gc.collect()`` before every timed run, so neither arm pays for the
+  other's garbage;
+* the estimator is the minimum over rounds per arm — timing noise on an
+  otherwise idle metric is strictly additive, so the smallest sample is
+  the least-contaminated one (the ``timeit`` rationale);
+* a reading over the gate triggers one re-measurement with more rounds
+  before failing: on a shared box a single bad reading is usually
+  scheduler noise, not a regression, and the minimum only improves as
+  samples accumulate.
+
+The probe campaign is reported as well but not gated: a probe
+conversation is almost nothing *but* instrumented protocol rounds (no
+message bodies, no DKIM signing), so its ratio is a worst-case
+per-event diagnostic rather than a throughput claim.
+"""
+
+import gc
+import os
+import time
+
+from benchmarks.conftest import SEED, emit
+from repro.core.campaign import NotifyEmailCampaign, ProbeCampaign, Testbed
+from repro.core.datasets import DatasetSpec, generate_universe
+from repro.obs import NULL_OBS
+
+#: Interleaved live/null pairs per measurement attempt.
+ROUNDS = int(os.environ.get("REPRO_BENCH_OBS_ROUNDS", "9"))
+#: Campaign scale — smaller than the table benches so a run stays ~1 s.
+OBS_SCALE = float(os.environ.get("REPRO_BENCH_OBS_SCALE", "0.01"))
+#: The gate from the observability contract.
+THRESHOLD = 0.05
+
+
+def _time_campaign(universe, make_campaign, obs):
+    """CPU seconds for one campaign run on a fresh testbed."""
+    testbed = Testbed(universe, seed=SEED + 21, obs=obs)
+    campaign = make_campaign(testbed)
+    gc.collect()
+    t_start = time.process_time()
+    campaign.run()
+    return time.process_time() - t_start
+
+
+def _measure(universe, make_campaign, rounds, live, null):
+    """Append ``rounds`` interleaved live/null samples to the lists."""
+    for _ in range(rounds):
+        live.append(_time_campaign(universe, make_campaign, None))
+        null.append(_time_campaign(universe, make_campaign, NULL_OBS))
+    return min(live), min(null)
+
+
+def _recorded_events(universe, make_campaign):
+    """Spans plus metric recordings from one live run (all counters in
+    the codebase increment by 1, so totals count recording calls)."""
+    testbed = Testbed(universe, seed=SEED + 21)
+    make_campaign(testbed).run()
+    metrics, tracer = testbed.obs.metrics, testbed.obs.tracer
+    events = len(tracer)
+    for name in metrics.names():
+        kind = metrics.kind_of(name)
+        for _labels, value in metrics.series(name):
+            if kind == "counter":
+                events += int(value)
+            elif kind == "gauge":
+                events += 1
+            else:
+                events += value.count
+    return events
+
+
+def _report(name, events, best_live, best_null):
+    overhead = best_live / best_null - 1.0
+    per_event = (best_live - best_null) / events if events else 0.0
+    return (
+        "%-22s %8d events  live %6.3f s  null %6.3f s  "
+        "overhead %+5.1f %%  (%.2f us/event)"
+        % (name, events, best_live, best_null, 100.0 * overhead, 1e6 * per_event)
+    )
+
+
+def test_notify_campaign_overhead_under_threshold():
+    """The gate: < 5 % on the paper's primary delivery campaign."""
+    universe = generate_universe(DatasetSpec.notify_email(scale=OBS_SCALE), seed=SEED + 20)
+    make = NotifyEmailCampaign
+    _time_campaign(universe, make, NULL_OBS)  # warm code paths and caches
+    live, null = [], []
+    best_live, best_null = _measure(universe, make, ROUNDS, live, null)
+    if best_live / best_null - 1.0 >= 0.8 * THRESHOLD:
+        # Borderline readings are usually noise; the minimum estimator
+        # only improves as samples accumulate, so measure again.
+        best_live, best_null = _measure(universe, make, 2 * ROUNDS, live, null)
+    events = _recorded_events(universe, make)
+    emit("obs overhead: notifyemail", _report("NotifyEmail delivery", events, best_live, best_null))
+    overhead = best_live / best_null - 1.0
+    assert overhead < THRESHOLD, (
+        "live observability costs %.1f %% of NotifyEmail campaign CPU time "
+        "(gate is %.0f %%; see OBSERVABILITY.md)" % (100 * overhead, 100 * THRESHOLD)
+    )
+
+
+def test_probe_campaign_overhead_reported():
+    """Worst case, reported not gated: probe conversations are pure
+    instrumented protocol rounds, so their per-event density is the
+    ceiling for what the obs layer can cost."""
+    universe = generate_universe(
+        DatasetSpec.two_week_mx(scale=OBS_SCALE / 2), seed=SEED + 20
+    )
+
+    def make(testbed):
+        return ProbeCampaign(testbed, "bench")
+
+    _time_campaign(universe, make, NULL_OBS)
+    live, null = [], []
+    best_live, best_null = _measure(universe, make, ROUNDS, live, null)
+    events = _recorded_events(universe, make)
+    emit("obs overhead: probe", _report("TwoWeekMX probe", events, best_live, best_null))
+    # Sanity bound only: this campaign exists to stress the obs layer.
+    assert best_live / best_null - 1.0 < 1.0
+
+
+def test_primitive_costs_reported():
+    """Per-operation costs of the three primitives, for the record."""
+    from repro.obs import Observability
+
+    obs = Observability()
+    labels = (("command", "RCPT"), ("code_class", "2xx"))
+    n = 100_000
+
+    def per_op(body):
+        gc.collect()
+        t_start = time.process_time()
+        for i in range(n):
+            body(float(i))
+        return 1e6 * (time.process_time() - t_start) / n
+
+    counter_us = per_op(lambda t: obs.metrics.counter("bench_total", labels, t=t))
+    observe_us = per_op(lambda t: obs.metrics.observe("bench_seconds", 0.25, labels, t=t))
+
+    def span_once(t):
+        with obs.tracer.span("bench.span", t, command="RCPT") as span:
+            span.set(code=250)
+            span.end(t + 1.0)
+
+    span_us = per_op(span_once)
+    emit(
+        "obs overhead: primitives",
+        "counter %.2f us/op   observe %.2f us/op   span %.2f us/op   (n=%d)"
+        % (counter_us, observe_us, span_us, n),
+    )
+    # Generous sanity bounds — an order of magnitude above measured.
+    assert counter_us < 5.0 and observe_us < 5.0 and span_us < 15.0

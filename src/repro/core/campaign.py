@@ -37,6 +37,7 @@ from repro.mta.sender import DeliveryRecord, SendingMta
 from repro.net.clock import Clock
 from repro.net.latency import UniformLatency
 from repro.net.network import Network
+from repro.obs import Observability
 from repro.smtp.message import EmailMessage
 
 SENDER_IPV4 = "203.0.113.250"
@@ -71,9 +72,14 @@ class Testbed:
 
     __test__ = False  # not a pytest test class, despite the name
 
-    def __init__(self, universe: Universe, seed: int = 0) -> None:
+    def __init__(
+        self, universe: Universe, seed: int = 0, obs: Optional[Observability] = None
+    ) -> None:
         self.universe = universe
         self.seed = seed
+        # Observability is on by default: one shared bundle per world so
+        # spans nest across layers.  Pass ``repro.obs.NULL_OBS`` to opt out.
+        self.obs = obs if obs is not None else Observability()
         self.clock = Clock()
         self.network = Network(UniformLatency(0.004, 0.045, seed=seed), self.clock)
         self.directory = AuthorityDirectory()
@@ -84,7 +90,7 @@ class Testbed:
             sender_ips=(SENDER_IPV4, SENDER_IPV6),
             dkim_key_b64=self.keypair.public.to_base64(),
         )
-        self.synth = SynthesizingAuthority(self.synth_config)
+        self.synth = SynthesizingAuthority(self.synth_config, obs=self.obs)
         self.synth.deploy(self.network, self.directory)
         self.receivers: Dict[str, ReceivingMta] = {}
         self._deploy_universe_dns()
@@ -113,7 +119,7 @@ class Testbed:
         zone.add("probe.dns-lab.org", ARecord(SENDER_IPV4))
         zone.add("probe.dns-lab.org", AAAARecord(SENDER_IPV6))
         self.universe_zone = zone
-        server = AuthoritativeServer([zone])
+        server = AuthoritativeServer([zone], obs=self.obs)
         server.attach(self.network, UNIVERSE_DNS_IP)
         self.universe_dns = server
         # Root registration: the fallback for everything that is not one
@@ -129,6 +135,7 @@ class Testbed:
                 behavior=host.behavior,
                 ipv4=host.ipv4,
                 ipv6=host.ipv6,
+                obs=self.obs,
             )
             receiver.attach()
             self.receivers[host.mtaid] = receiver
@@ -192,23 +199,39 @@ class NotifyEmailCampaign:
         if domains is None:
             domains = testbed.universe.domains
         deliveries: List[NotifyDelivery] = []
+        obs = testbed.obs
         t = self.start_time
-        for domain in domains:
-            from_domain = "%s.%s" % (domain.domainid, testbed.synth_config.notify_suffix)
-            sender = SendingMta(
-                "probe.dns-lab.org",
-                testbed.network,
-                testbed.directory,
-                ipv4=SENDER_IPV4,
-                ipv6=SENDER_IPV6,
-                signer=DkimSigner(from_domain, "sel", testbed.keypair.private),
-            )
-            from_address = "spf-test@%s" % from_domain
-            to_address = "operator@%s" % domain.name
-            message = self._message(from_address, to_address, t)
-            record, _ = sender.send(message, from_address, to_address, t)
-            deliveries.append(NotifyDelivery(domain, from_domain, record))
-            t += self.spacing
+        t_last = self.start_time
+        with obs.tracer.span("campaign.run", t, campaign="notifyemail") as span:
+            for domain in domains:
+                from_domain = "%s.%s" % (domain.domainid, testbed.synth_config.notify_suffix)
+                sender = SendingMta(
+                    "probe.dns-lab.org",
+                    testbed.network,
+                    testbed.directory,
+                    ipv4=SENDER_IPV4,
+                    ipv6=SENDER_IPV6,
+                    signer=DkimSigner(from_domain, "sel", testbed.keypair.private),
+                    obs=obs,
+                )
+                from_address = "spf-test@%s" % from_domain
+                to_address = "operator@%s" % domain.name
+                message = self._message(from_address, to_address, t)
+                record, t_done = sender.send(message, from_address, to_address, t)
+                deliveries.append(NotifyDelivery(domain, from_domain, record))
+                obs.metrics.counter(
+                    "campaign_deliveries_total",
+                    (
+                        ("campaign", "notifyemail"),
+                        ("outcome", "accepted" if record.accepted_with_250 else "other"),
+                    ),
+                    t=t_done,
+                )
+                t_last = max(t_last, t_done)
+                t += self.spacing
+            span.set(domains=len(deliveries))
+            span.end(t_last)
+        obs.metrics.gauge("campaign_domains", len(deliveries), (("campaign", "notifyemail"),))
         return NotifyEmailResult(deliveries, testbed.query_index())
 
 
@@ -258,7 +281,7 @@ class ProbeCampaign:
             else {}
         )
         self.probe = ProbeClient(
-            testbed.network, testbed.synth_config, sleep_seconds=sleep_seconds
+            testbed.network, testbed.synth_config, sleep_seconds=sleep_seconds, obs=testbed.obs
         )
 
     def eligible_mtas(self) -> List[Tuple[MtaHost, str]]:
@@ -286,19 +309,29 @@ class ProbeCampaign:
         results: List[ProbeResult] = []
         probed: Dict[str, MtaHost] = {}
         recipients: Dict[str, str] = {}
+        obs = self.testbed.obs
         t_base = self.start_time
-        for host, rcpt_domain in pairs:
-            probed[host.mtaid] = host
-            recipients[host.mtaid] = rcpt_domain
-            address = host.ipv4 or host.ipv6
-            t = t_base
-            order = list(self.testids)
-            rng.shuffle(order)
-            for testid in order:
-                result, t = self.probe.probe(address, host.mtaid, testid, rcpt_domain, t)
-                results.append(result)
-                t += self.probe.sleep_seconds
-            t_base += self.stagger
+        t_last = self.start_time
+        with obs.tracer.span("campaign.run", t_base, campaign=self.name) as span:
+            for host, rcpt_domain in pairs:
+                probed[host.mtaid] = host
+                recipients[host.mtaid] = rcpt_domain
+                address = host.ipv4 or host.ipv6
+                t = t_base
+                order = list(self.testids)
+                rng.shuffle(order)
+                for testid in order:
+                    result, t = self.probe.probe(address, host.mtaid, testid, rcpt_domain, t)
+                    results.append(result)
+                    obs.metrics.counter(
+                        "campaign_probes_total", (("campaign", self.name),), t=t
+                    )
+                    t += self.probe.sleep_seconds
+                t_last = max(t_last, t)
+                t_base += self.stagger
+            span.set(mtas=len(probed), probes=len(results))
+            span.end(t_last)
+        obs.metrics.gauge("campaign_eligible_mtas", len(pairs), (("campaign", self.name),))
         return ProbeCampaignResult(
             name=self.name,
             results=results,

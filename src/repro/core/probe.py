@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.core.synth import SynthConfig
 from repro.net.network import Network, is_ipv6
+from repro.obs import Observability, ensure_obs
 from repro.smtp.client import SmtpClient
 from repro.smtp.errors import SmtpClientError
 from repro.smtp.protocol import Reply
@@ -69,11 +70,13 @@ class ProbeClient:
         config: Optional[SynthConfig] = None,
         sleep_seconds: float = 15.0,
         usernames: Sequence[str] = DEFAULT_USERNAMES,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.network = network
         self.config = config if config is not None else SynthConfig()
         self.sleep_seconds = sleep_seconds
         self.usernames = tuple(usernames)
+        self.obs = ensure_obs(obs)
         network.add_address(self.config.probe_ipv4)
         if self.config.probe_ipv6:
             network.add_address(self.config.probe_ipv6)
@@ -97,10 +100,31 @@ class ProbeClient:
         t: float,
     ) -> Tuple[ProbeResult, float]:
         """Run one probe conversation; never delivers a message."""
+        obs = self.obs
+        with obs.tracer.span(
+            "probe.conversation", t, mtaid=mtaid, testid=testid, target=target_ip
+        ) as span:
+            result, t_done = self._probe(target_ip, mtaid, testid, rcpt_domain, t)
+            span.set(stage=result.stage_reached)
+            span.end(t_done)
+        obs.metrics.counter(
+            "probe_conversations_total", (("stage", result.stage_reached),), t=t_done
+        )
+        obs.metrics.observe("probe_conversation_seconds", t_done - t, t=t_done)
+        return result, t_done
+
+    def _probe(
+        self,
+        target_ip: str,
+        mtaid: str,
+        testid: str,
+        rcpt_domain: str,
+        t: float,
+    ) -> Tuple[ProbeResult, float]:
         result = ProbeResult(mtaid=mtaid, testid=testid, target_ip=target_ip, t_started=t)
         source = self.config.probe_ipv6 if is_ipv6(target_ip) else self.config.probe_ipv4
         try:
-            client, t = SmtpClient.connect(self.network, source, target_ip, t)
+            client, t = SmtpClient.connect(self.network, source, target_ip, t, obs=self.obs)
         except SmtpClientError as exc:
             result.error_stage = "connect"
             result.error_text = str(exc)

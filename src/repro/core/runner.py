@@ -10,11 +10,18 @@ tables, figures, and raw traces to an output directory::
 
 Artefacts per experiment: ``<name>_report.txt`` (every applicable table),
 ``<name>_queries.jsonl`` and ``<name>_probes.jsonl`` (raw traces loadable
-via :mod:`repro.core.trace`), and ``<name>_tracecheck.txt`` — the
-post-flight differential conformance pass (:mod:`repro.lint.tracecheck`)
-that diffs the observed query log against each policy's derived DNS
-footprint.  A non-clean tracecheck means the harness, not a validator,
-misbehaved; the runner says so loudly but still writes every artefact.
+via :mod:`repro.core.trace`), ``<name>_tracecheck.txt`` — the post-flight
+differential conformance pass (:mod:`repro.lint.tracecheck`) — and the
+observability pair ``<name>_metrics.txt`` / ``<name>_spans.jsonl``
+(:mod:`repro.obs`; suppressed by ``--no-obs``).  Because ``notifyemail``
+and ``notifymx`` share one testbed, the NotifyMX observability artefacts
+are cumulative over both campaigns; see ``OBSERVABILITY.md``.
+
+A non-clean tracecheck or a span/query-log reconciliation mismatch means
+the harness, not a validator, misbehaved; the runner says so loudly but
+still writes every artefact.  All human-facing output flows through one
+:class:`~repro.obs.progress.ProgressSink`, so ``--quiet`` silences
+everything uniformly.
 """
 
 from __future__ import annotations
@@ -37,7 +44,10 @@ from repro.core.fingerprint import fingerprint_fleet
 from repro.core.querylog import QueryIndex, attribute_queries_with_stats
 from repro.core.report import render_histogram
 from repro.lint.tracecheck import check_index
-from repro.net.clock import wall_now
+from repro.obs import NULL_OBS, ProgressSink
+from repro.obs.export import render_metrics_text
+from repro.obs.reconcile import reconcile_spans
+from repro.obs.spans import save_spans
 
 EXPERIMENTS = ("notifyemail", "notifymx", "twoweekmx")
 
@@ -57,6 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=2021, help="master RNG seed")
     parser.add_argument("--out", type=Path, default=Path("results"), help="output directory")
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
+    parser.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="disable metrics/span collection (skips the *_metrics.txt / *_spans.jsonl artefacts)",
+    )
     return parser
 
 
@@ -64,24 +79,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     args.out.mkdir(parents=True, exist_ok=True)
     wanted = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
-    say = (lambda *a: None) if args.quiet else print
+    sink = ProgressSink(quiet=args.quiet)
 
-    started = wall_now()
     if "notifyemail" in wanted or "notifymx" in wanted:
-        _run_notify_family(args, wanted, say)
+        _run_notify_family(args, wanted, sink)
     if "twoweekmx" in wanted:
-        _run_twoweekmx(args, say)
-    say("all done in %.1f s -> %s" % (wall_now() - started, args.out))
+        _run_twoweekmx(args, sink)
+    sink.say("all done in %.1f s -> %s" % (sink.elapsed(), args.out))
     return 0
 
 
-def _run_notify_family(args, wanted, say) -> None:
-    say("generating NotifyEmail universe (scale %.3f) ..." % args.scale)
+def _make_testbed(args, universe, seed: int) -> Testbed:
+    return Testbed(universe, seed=seed, obs=NULL_OBS if args.no_obs else None)
+
+
+def _run_notify_family(args, wanted, sink: ProgressSink) -> None:
+    sink.say("generating NotifyEmail universe (scale %.3f) ..." % args.scale)
     universe = generate_universe(DatasetSpec.notify_email(scale=args.scale), seed=args.seed)
-    testbed = Testbed(universe, seed=args.seed + 1)
+    testbed = _make_testbed(args, universe, seed=args.seed + 1)
 
     if "notifyemail" in wanted:
-        say("running NotifyEmail: one signed notification per domain ...")
+        sink.say("running NotifyEmail: one signed notification per domain ...")
         result = NotifyEmailCampaign(testbed).run()
         analysis = A.analyze_notify(result)
         sections = [
@@ -100,11 +118,12 @@ def _run_notify_family(args, wanted, say) -> None:
         )
         _write(args.out / "notifyemail_report.txt", sections)
         trace.save_query_log(result.index.queries, args.out / "notifyemail_queries.jsonl")
-        _postflight(testbed, args.out / "notifyemail_tracecheck.txt", say)
-        say("  -> %s" % (args.out / "notifyemail_report.txt"))
+        _postflight(testbed, args.out / "notifyemail_tracecheck.txt", sink)
+        _write_obs(testbed, args.out, "notifyemail", sink)
+        sink.say("  -> %s" % (args.out / "notifyemail_report.txt"))
 
     if "notifymx" in wanted:
-        say("running NotifyMX: probing the same MTAs with soured reputation ...")
+        sink.say("running NotifyMX: probing the same MTAs with soured reputation ...")
         apply_reputation_effects(universe, seed=args.seed + 2)
         probe_result = ProbeCampaign(testbed, "NotifyMX", start_time=1e7, seed=args.seed).run()
         sections = [
@@ -125,15 +144,16 @@ def _run_notify_family(args, wanted, say) -> None:
         _write(args.out / "notifymx_report.txt", sections)
         trace.save_query_log(probe_result.index.queries, args.out / "notifymx_queries.jsonl")
         trace.save_probe_results(probe_result.results, args.out / "notifymx_probes.jsonl")
-        _postflight(testbed, args.out / "notifymx_tracecheck.txt", say)
-        say("  -> %s" % (args.out / "notifymx_report.txt"))
+        _postflight(testbed, args.out / "notifymx_tracecheck.txt", sink)
+        _write_obs(testbed, args.out, "notifymx", sink)
+        sink.say("  -> %s" % (args.out / "notifymx_report.txt"))
 
 
-def _run_twoweekmx(args, say) -> None:
-    say("generating TwoWeekMX universe (scale %.3f) ..." % args.scale)
+def _run_twoweekmx(args, sink: ProgressSink) -> None:
+    sink.say("generating TwoWeekMX universe (scale %.3f) ..." % args.scale)
     universe = generate_universe(DatasetSpec.two_week_mx(scale=args.scale), seed=args.seed + 3)
-    testbed = Testbed(universe, seed=args.seed + 4)
-    say("running TwoWeekMX probe campaign ...")
+    testbed = _make_testbed(args, universe, seed=args.seed + 4)
+    sink.say("running TwoWeekMX probe campaign ...")
     result = ProbeCampaign(testbed, "TwoWeekMX", seed=args.seed).run()
     rows = [A.probe_spf_row("TwoWeekMX (all)", universe, result)]
     rows += A.decile_rows(universe, result)
@@ -147,11 +167,12 @@ def _run_twoweekmx(args, say) -> None:
     _write(args.out / "twoweekmx_report.txt", sections)
     trace.save_query_log(result.index.queries, args.out / "twoweekmx_queries.jsonl")
     trace.save_probe_results(result.results, args.out / "twoweekmx_probes.jsonl")
-    _postflight(testbed, args.out / "twoweekmx_tracecheck.txt", say)
-    say("  -> %s" % (args.out / "twoweekmx_report.txt"))
+    _postflight(testbed, args.out / "twoweekmx_tracecheck.txt", sink)
+    _write_obs(testbed, args.out, "twoweekmx", sink)
+    sink.say("  -> %s" % (args.out / "twoweekmx_report.txt"))
 
 
-def _postflight(testbed: Testbed, path: Path, say) -> None:
+def _postflight(testbed: Testbed, path: Path, sink: ProgressSink) -> None:
     """Diff the testbed's cumulative query log against the policy
     footprints; the written report is an artefact like any other."""
     attributed, stats = attribute_queries_with_stats(
@@ -164,8 +185,26 @@ def _postflight(testbed: Testbed, path: Path, say) -> None:
     )
     _write(path, [result.report.render_text(header=header)])
     if not result.clean:
-        say("  !! tracecheck found %d conformance finding(s) -> %s"
-            % (len(result.report.diagnostics), path))
+        sink.warn("  !! tracecheck found %d conformance finding(s) -> %s"
+                  % (len(result.report.diagnostics), path))
+
+
+def _write_obs(testbed: Testbed, out: Path, name: str, sink: ProgressSink) -> None:
+    """Export the testbed's cumulative metrics and spans (no-op under
+    ``--no-obs``), then reconcile spans against the attributed query log
+    as a second, independent witness of what the campaign did."""
+    obs = testbed.obs
+    if not obs.enabled:
+        return
+    metrics_path = out / ("%s_metrics.txt" % name)
+    _write(metrics_path, [render_metrics_text(obs.metrics, header="%s metrics" % name)])
+    spans_path = out / ("%s_spans.jsonl" % name)
+    count = save_spans(obs.tracer.finished, spans_path)
+    sink.say("  -> %s (%d series), %s (%d spans)"
+             % (metrics_path, len(obs.metrics), spans_path, count))
+    verdict = reconcile_spans(obs.tracer.finished, testbed.query_index(), testbed.synth_config)
+    if not verdict.matched:
+        sink.warn("  !! span/query-log reconciliation mismatch:\n%s" % verdict.render_text())
 
 
 def _write(path: Path, sections: List[str]) -> None:

@@ -22,6 +22,7 @@ The inherited query log *is* the experiment's measurement output.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Optional, Sequence, Tuple
 
 from repro.core.policies import (
@@ -36,6 +37,14 @@ from repro.dns.rdata import Rcode, RdataType, SoaRecord
 from repro.dns.resolver import AuthorityDirectory
 from repro.dns.server import AuthoritativeServer
 from repro.net.network import Network
+from repro.obs import Observability
+
+
+@lru_cache(maxsize=None)
+def _synth_labels(experiment: str, outcome: str) -> tuple:
+    # Experiments and outcomes form a tiny closed set; memoizing keeps
+    # the per-query hot path from rebuilding the same label tuples.
+    return (("experiment", experiment), ("outcome", outcome))
 
 
 @dataclass
@@ -60,8 +69,10 @@ class SynthConfig:
 class SynthesizingAuthority(AuthoritativeServer):
     """Answers everything under its suffixes by synthesis."""
 
-    def __init__(self, config: Optional[SynthConfig] = None) -> None:
-        super().__init__(zones=[])
+    def __init__(
+        self, config: Optional[SynthConfig] = None, obs: Optional[Observability] = None
+    ) -> None:
+        super().__init__(zones=[], obs=obs)
         self.config = config if config is not None else SynthConfig()
         self._policies = {policy.testid: policy for policy in self.config.policies}
         self._probe_suffix = Name(self.config.probe_suffix)
@@ -145,8 +156,10 @@ class SynthesizingAuthority(AuthoritativeServer):
             return response
         suffix = self._owning_suffix(qname)
         if suffix is None:
+            self._count_synth("foreign", "refused", t_arrival)
             response.flags.rcode = Rcode.REFUSED
             return response
+        experiment = self._experiment_label(suffix)
         response.flags.aa = True
         soa = SoaRecord(
             "ns1.%s" % suffix,
@@ -156,24 +169,41 @@ class SynthesizingAuthority(AuthoritativeServer):
             from repro.dns.rdata import ResourceRecord
 
             response.answer.append(ResourceRecord(qname, self.config.ttl, soa))
+            self._count_synth(experiment, "soa", t_arrival)
             return response
         parsed = self._parse(qname)
         if parsed is None:
             self._negative(response, suffix, soa, nxdomain=True)
+            self._count_synth(experiment, "nxdomain", t_arrival)
             return response
         policy, sub, context = parsed
         synthesized = policy.respond(sub, qtype, context)
         if synthesized.nxdomain:
             self._negative(response, suffix, soa, nxdomain=True)
+            self._count_synth(experiment, "nxdomain", t_arrival)
             return response
         if not synthesized.records:
             self._negative(response, suffix, soa, nxdomain=False)
+            self._count_synth(experiment, "nodata", t_arrival)
             return response
         from repro.dns.rdata import ResourceRecord
 
         for rdata in synthesized.records:
             response.answer.append(ResourceRecord(qname, self.config.ttl, rdata))
+        self._count_synth(experiment, "records", t_arrival)
         return response
+
+    def _experiment_label(self, suffix: str) -> str:
+        if suffix == self.config.v6_suffix:
+            return "v6"
+        if suffix == self.config.notify_suffix:
+            return "notify"
+        return "probe"
+
+    def _count_synth(self, experiment: str, outcome: str, t_arrival: float) -> None:
+        self.obs.metrics.counter(
+            "synth_responses_total", _synth_labels(experiment, outcome), t=t_arrival
+        )
 
     def _owning_suffix(self, qname: Name) -> Optional[str]:
         for suffix_name, text in (

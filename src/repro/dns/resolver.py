@@ -18,6 +18,7 @@ from __future__ import annotations
 import enum
 import struct
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.dns import wire
@@ -27,6 +28,7 @@ from repro.dns.name import Name
 from repro.dns.rdata import Rcode, RdataType, ResourceRecord
 from repro.net.errors import NetError
 from repro.net.network import DNS_PORT, Network, is_ipv6
+from repro.obs import Observability, ensure_obs
 
 
 class AnswerStatus(enum.Enum):
@@ -47,6 +49,19 @@ class AnswerStatus(enum.Enum):
     @property
     def is_error(self) -> bool:
         return self in (AnswerStatus.SERVFAIL, AnswerStatus.TIMEOUT, AnswerStatus.UNREACHABLE)
+
+
+# Constant metric-label tuples for the per-query hot path; rdtype/status
+# combinations form a small closed set, so they are memoized too.
+_CACHE_HIT_LABELS = (("outcome", "hit"),)
+_CACHE_MISS_LABELS = (("outcome", "miss"),)
+_UDP_LABELS = (("transport", "udp"),)
+_TCP_LABELS = (("transport", "tcp"),)
+
+
+@lru_cache(maxsize=None)
+def _query_labels(rdtype_name: str, status_value: str) -> tuple:
+    return (("rdtype", rdtype_name), ("status", status_value))
 
 
 @dataclass
@@ -148,6 +163,7 @@ class Resolver:
         address4: Optional[str] = None,
         address6: Optional[str] = None,
         config: Optional[ResolverConfig] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if address4 is None and address6 is None:
             raise ValueError("resolver needs at least one source address")
@@ -156,6 +172,7 @@ class Resolver:
         self.address4 = address4
         self.address6 = address6
         self.config = config if config is not None else ResolverConfig()
+        self.obs = ensure_obs(obs)
         self.cache: TtlCache[Answer] = TtlCache()
         self._next_id = 1
         for address in (address4, address6):
@@ -171,6 +188,20 @@ class Resolver:
         failures; inspect :attr:`Answer.status`.
         """
         name = Name(qname)
+        obs = self.obs
+        with obs.tracer.span("dns.query", t_start, qname=str(name), rdtype=rdtype.name) as span:
+            answer, t_done = self._query_at(name, rdtype, t_start)
+            span.set(status=answer.status.value, transport=answer.transport, cached=answer.from_cache)
+            span.end(t_done)
+        obs.metrics.counter(
+            "dns_client_queries_total", _query_labels(rdtype.name, answer.status.value), t=t_done
+        )
+        if answer.status.is_void:
+            obs.metrics.counter("dns_client_void_lookups_total", t=t_done)
+        obs.metrics.observe("dns_client_query_seconds", t_done - t_start, t=t_done)
+        return answer, t_done
+
+    def _query_at(self, name: Name, rdtype: RdataType, t_start: float) -> Tuple[Answer, float]:
         answer, t_done = self._resolve(name, rdtype, t_start)
         chain = 0
         # Chase cross-zone CNAMEs the authoritative server did not follow.
@@ -218,6 +249,11 @@ class Resolver:
     def _resolve(self, name: Name, rdtype: RdataType, t_start: float) -> Tuple[Answer, float]:
         if self.config.use_cache:
             cached = self.cache.get(name, rdtype, t_start)
+            self.obs.metrics.counter(
+                "dns_client_cache_events_total",
+                _CACHE_HIT_LABELS if cached is not None else _CACHE_MISS_LABELS,
+                t=t_start,
+            )
             if cached is not None:
                 hit = Answer(
                     qname=name,
@@ -285,33 +321,50 @@ class Resolver:
             edns_payload=self.config.edns_payload,
         )
         payload = wire.to_wire(query)
-        try:
-            reply_bytes, t_reply = self.network.udp_request(src_ip, dst_ip, DNS_PORT, payload, t_send)
-        except NetError:
-            return None, t_send, True
-        if t_reply - t_send > self.config.timeout:
-            # The reply arrived after we gave up listening.
-            return None, t_send + self.config.timeout, False
-        try:
-            reply = wire.from_wire(reply_bytes)
-        except Exception:
-            return None, t_reply, True
-        if reply.msg_id != msg_id:
-            return None, t_reply, True
-        if self.config.use_0x20 and (
-            not reply.question or reply.question[0].name.labels != wire_name.labels
-        ):
-            # The echoed question's case does not match what we sent —
-            # exactly what 0x20 exists to catch.  Treat as a spoof attempt.
-            return None, t_reply, True
-        if reply.flags.tc:
-            if not self.config.tcp_fallback:
-                answer = Answer(
-                    name, rdtype, AnswerStatus.SERVFAIL, rcode=Rcode.SERVFAIL, transport="udp", server_ip=dst_ip
-                )
-                return answer, t_reply, False
-            return self._exchange_tcp(name, rdtype, src_ip, dst_ip, t_reply)
-        return self._interpret(reply, name, rdtype, "udp", dst_ip), t_reply, False
+        obs = self.obs
+        with obs.tracer.span(
+            "dns.exchange", t_send, qname=str(wire_name), qtype=rdtype.name,
+            transport="udp", client=src_ip, server=dst_ip,
+        ) as span:
+            try:
+                reply_bytes, t_reply = self.network.udp_request(src_ip, dst_ip, DNS_PORT, payload, t_send)
+            except NetError:
+                span.set(outcome="neterror").end(t_send)
+                return None, t_send, True
+            obs.metrics.counter("dns_client_exchanges_total", _UDP_LABELS, t=t_reply)
+            if t_reply - t_send > self.config.timeout:
+                # The reply arrived after we gave up listening.
+                span.set(outcome="timeout").end(t_send + self.config.timeout)
+                return None, t_send + self.config.timeout, False
+            try:
+                reply = wire.from_wire(reply_bytes)
+            except Exception:
+                span.set(outcome="badreply").end(t_reply)
+                return None, t_reply, True
+            if reply.msg_id != msg_id:
+                span.set(outcome="mismatch").end(t_reply)
+                return None, t_reply, True
+            if self.config.use_0x20 and (
+                not reply.question or reply.question[0].name.labels != wire_name.labels
+            ):
+                # The echoed question's case does not match what we sent —
+                # exactly what 0x20 exists to catch.  Treat as a spoof attempt.
+                span.set(outcome="0x20").end(t_reply)
+                return None, t_reply, True
+            if reply.flags.tc:
+                if not self.config.tcp_fallback:
+                    span.set(outcome="truncated", fallback=False).end(t_reply)
+                    answer = Answer(
+                        name, rdtype, AnswerStatus.SERVFAIL, rcode=Rcode.SERVFAIL, transport="udp", server_ip=dst_ip
+                    )
+                    return answer, t_reply, False
+                span.set(outcome="truncated", fallback=True).end(t_reply)
+                obs.metrics.counter("dns_client_tcp_fallbacks_total", t=t_reply)
+                # Called inside the open span so the TCP retry nests as a
+                # child of the truncated UDP exchange.
+                return self._exchange_tcp(name, rdtype, src_ip, dst_ip, t_reply)
+            span.set(outcome="ok").end(t_reply)
+            return self._interpret(reply, name, rdtype, "udp", dst_ip), t_reply, False
 
     def _exchange_tcp(
         self, name: Name, rdtype: RdataType, src_ip: str, dst_ip: str, t_start: float
@@ -320,20 +373,30 @@ class Resolver:
         query = Message.make_query(name, rdtype, msg_id=msg_id, recursion_desired=False)
         payload = wire.to_wire(query)
         framed = struct.pack("!H", len(payload)) + payload
-        try:
-            channel = self.network.connect_tcp(src_ip, dst_ip, DNS_PORT, t_start)
-            reply_framed, t_reply = channel.request(framed, channel.t_established)
-            channel.close(t_reply)
-        except NetError:
-            return None, t_start, True
-        if reply_framed is None or len(reply_framed) < 2:
-            return None, t_reply, True
-        (length,) = struct.unpack("!H", reply_framed[:2])
-        try:
-            reply = wire.from_wire(reply_framed[2 : 2 + length])
-        except Exception:
-            return None, t_reply, True
-        return self._interpret(reply, name, rdtype, "tcp", dst_ip), t_reply, False
+        obs = self.obs
+        with obs.tracer.span(
+            "dns.exchange", t_start, qname=str(name), qtype=rdtype.name,
+            transport="tcp", client=src_ip, server=dst_ip,
+        ) as span:
+            try:
+                channel = self.network.connect_tcp(src_ip, dst_ip, DNS_PORT, t_start)
+                reply_framed, t_reply = channel.request(framed, channel.t_established)
+                channel.close(t_reply)
+            except NetError:
+                span.set(outcome="neterror").end(t_start)
+                return None, t_start, True
+            obs.metrics.counter("dns_client_exchanges_total", _TCP_LABELS, t=t_reply)
+            if reply_framed is None or len(reply_framed) < 2:
+                span.set(outcome="badreply").end(t_reply)
+                return None, t_reply, True
+            (length,) = struct.unpack("!H", reply_framed[:2])
+            try:
+                reply = wire.from_wire(reply_framed[2 : 2 + length])
+            except Exception:
+                span.set(outcome="badreply").end(t_reply)
+                return None, t_reply, True
+            span.set(outcome="ok").end(t_reply)
+            return self._interpret(reply, name, rdtype, "tcp", dst_ip), t_reply, False
 
     def _interpret(self, reply: Message, name: Name, rdtype: RdataType, transport: str, server_ip: str) -> Answer:
         negative_ttl = 300.0

@@ -24,6 +24,15 @@ from repro.dns.name import Name
 from repro.dns.rdata import Rcode, RdataType
 from repro.dns.zone import LookupStatus, Zone
 from repro.net.network import DNS_PORT, Network, is_ipv6
+from repro.obs import Observability, ensure_obs
+
+# Constant metric-label tuples for the per-query hot path; rcodes are a
+# small closed set, so those label tuples are memoized as they appear.
+_UDP_QUERY_LABELS = (("transport", "udp"),)
+_TCP_QUERY_LABELS = (("transport", "tcp"),)
+_TRUNCATED_FORCED = (("reason", "forced"),)
+_TRUNCATED_SIZE = (("reason", "size"),)
+_RCODE_LABELS: dict = {}
 
 
 @dataclass(frozen=True)
@@ -64,10 +73,12 @@ class AuthoritativeServer:
         response_delay: Optional[Callable[[Name, RdataType], float]] = None,
         force_tcp_for: Optional[Callable[[Name], bool]] = None,
         max_udp_payload: int = 1232,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.zones: List[Zone] = list(zones) if zones else []
         self.response_delay = response_delay
         self.force_tcp_for = force_tcp_for
+        self.obs = ensure_obs(obs)
         #: The largest UDP response this server will emit to an EDNS
         #: client, regardless of what the client advertises (RFC 6891).
         self.max_udp_payload = max_udp_payload
@@ -148,8 +159,14 @@ class AuthoritativeServer:
             return wire.to_wire(error), 0.0
         qname, qtype = query.qname, query.qtype
         delay = 0.0
+        metrics = self.obs.metrics
         if qname is not None and qtype is not None:
             self.query_log.append(QueryLogEntry(t_arrival, qname, qtype, transport, client_ip))
+            metrics.counter(
+                "dns_server_queries_total",
+                _UDP_QUERY_LABELS if transport == "udp" else _TCP_QUERY_LABELS,
+                t=t_arrival,
+            )
             if self.response_delay is not None:
                 delay = float(self.response_delay(qname, qtype))
         if (
@@ -160,8 +177,14 @@ class AuthoritativeServer:
         ):
             stub = query.make_response()
             stub.flags.tc = True
+            metrics.counter("dns_server_truncated_total", _TRUNCATED_FORCED, t=t_arrival)
             return wire.to_wire(stub), delay
         response = self.resolve(query, transport, client_ip, t_arrival)
+        rcode = response.rcode.name
+        labels = _RCODE_LABELS.get(rcode)
+        if labels is None:
+            labels = _RCODE_LABELS[rcode] = (("rcode", rcode),)
+        metrics.counter("dns_server_responses_total", labels, t=t_arrival)
         if transport == "udp":
             if query.edns_payload:
                 limit = min(query.edns_payload, self.max_udp_payload)
@@ -169,7 +192,9 @@ class AuthoritativeServer:
             else:
                 limit = wire.UDP_PAYLOAD_LIMIT
                 response.edns_payload = None
-            payload_out, _ = wire.truncate_for_udp(response, limit=limit)
+            payload_out, truncated = wire.truncate_for_udp(response, limit=limit)
+            if truncated:
+                metrics.counter("dns_server_truncated_total", _TRUNCATED_SIZE, t=t_arrival)
             return payload_out, delay
         return wire.to_wire(response), delay
 

@@ -27,6 +27,10 @@ decorated function, not a new visitor.
 * **AST005** — mutable default arguments, the classic shared-state trap.
 * **AST006** — naive ``datetime`` construction (no ``tzinfo``), which
   mixes undefined timezones into timestamp math.
+* **AST007** — ``wall_now()`` calls outside its two sanctioned homes
+  (``net/clock.py``, which defines it, and ``obs/progress.py``, the
+  human-facing progress sink).  Everything else — including every metric
+  and span in ``repro.obs`` — must carry virtual timestamps only.
 
 Findings can be locally waived with an inline ``# lint: disable=CODE``
 (or ``# lint: disable=CODE1,CODE2``, or a bare ``# lint: disable`` for
@@ -85,6 +89,11 @@ BLOCKING_CALLS = (
 #: reads are sanctioned.  ``net/clock.py`` is the virtual clock itself.
 WALL_CLOCK_ALLOWED = ("net/clock.py",)
 
+#: Path suffixes where calling ``wall_now()`` — the one sanctioned bridge
+#: from real time to human-facing output — is itself sanctioned (AST007):
+#: the bridge's home module and the progress sink that stamps log lines.
+WALL_NOW_ALLOWED = ("net/clock.py", "obs/progress.py")
+
 #: Top-level directories (relative to the scanned tree) where importing the
 #: real ``socket`` module is sanctioned.
 SOCKET_ALLOWED_DIRS = ("net",)
@@ -125,6 +134,7 @@ class RuleContext:
         self.relpath = relpath
         self.report = report
         self.clock_allowed = relpath.endswith(WALL_CLOCK_ALLOWED)
+        self.wall_now_allowed = relpath.endswith(WALL_NOW_ALLOWED)
         first_dir = relpath.split("/")[0] if "/" in relpath else ""
         self.socket_allowed = first_dir in SOCKET_ALLOWED_DIRS
         #: local name -> dotted origin, from imports (``from time import time``
@@ -286,6 +296,21 @@ def _check_naive_datetime(ctx: RuleContext, node: ast.Call) -> None:
             "%s() builds a naive datetime (no tzinfo)" % dotted,
             node,
             hint="pass tzinfo= (e.g. timezone.utc) or keep timestamps as floats",
+        )
+
+
+@rule("AST007", ast.Call)
+def _check_wall_now_containment(ctx: RuleContext, node: ast.Call) -> None:
+    if ctx.wall_now_allowed:
+        return
+    dotted = ctx.resolve(node.func)
+    if dotted is not None and _matches_any(dotted, ("wall_now",)):
+        ctx.emit(
+            "AST007",
+            "%s() used outside the sanctioned wall-clock homes" % dotted,
+            node,
+            hint="report human-facing progress through repro.obs.ProgressSink; "
+            "metrics and spans take virtual timestamps only",
         )
 
 

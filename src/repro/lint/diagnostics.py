@@ -104,6 +104,7 @@ RULES: Dict[str, Tuple[Severity, str]] = {
     "AST004": (Severity.ERROR, "blocking call inside 'async def' stalls the event loop"),
     "AST005": (Severity.WARNING, "mutable default argument is shared across calls"),
     "AST006": (Severity.WARNING, "naive datetime construction has no timezone"),
+    "AST007": (Severity.ERROR, "wall_now() escape hatch used outside its sanctioned homes"),
 }
 
 

@@ -20,6 +20,7 @@ from repro.dmarc.psl import PublicSuffixList
 from repro.dns.resolver import AuthorityDirectory, Resolver
 from repro.mta.behavior import MtaBehavior, SpfTrigger
 from repro.net.network import Network
+from repro.obs import Observability, ensure_obs
 from repro.smtp.message import EmailMessage
 from repro.smtp.protocol import Mailbox, Reply
 from repro.smtp.server import SmtpServer, SmtpSession
@@ -66,6 +67,7 @@ class ReceivingMta:
         ipv4: Optional[str] = None,
         ipv6: Optional[str] = None,
         psl: Optional[PublicSuffixList] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if ipv4 is None and ipv6 is None:
             raise ValueError("an MTA needs at least one address")
@@ -74,6 +76,7 @@ class ReceivingMta:
         self.behavior = behavior if behavior is not None else MtaBehavior()
         self.ipv4 = ipv4
         self.ipv6 = ipv6
+        self.obs = ensure_obs(obs)
         # The MTA's resolver has its own transport capabilities: plenty of
         # IPv4-only mail servers sit behind dual-stack resolvers (which is
         # how 49% of MTAs could fetch the IPv6-only policy in s7.3).
@@ -86,8 +89,11 @@ class ReceivingMta:
             address4=ipv4,
             address6=resolver_v6,
             config=self.behavior.resolver_config(),
+            obs=self.obs,
         )
-        self.spf = SpfEvaluator(self.resolver, config=self.behavior.spf_config(), receiving_host=hostname)
+        self.spf = SpfEvaluator(
+            self.resolver, config=self.behavior.spf_config(), receiving_host=hostname, obs=self.obs
+        )
         self.dkim = DkimVerifier(self.resolver)
         self.dmarc = DmarcEvaluator(self.resolver, psl=psl)
         self.validations: List[ValidationRecord] = []
@@ -112,6 +118,14 @@ class ReceivingMta:
 
     # -- validation engines (called from sessions) --------------------------
 
+    def _note_validation(self, record: ValidationRecord) -> None:
+        self.validations.append(record)
+        self.obs.metrics.counter(
+            "mta_validations_total",
+            (("kind", record.kind), ("result", record.result)),
+            t=record.t_completed,
+        )
+
     def run_spf(
         self, client_ip: str, sender: Optional[Mailbox], helo: Optional[str], t: float
     ) -> Tuple[SpfResult, float]:
@@ -122,7 +136,7 @@ class ReceivingMta:
             outcome = self.spf.check_host(
                 client_ip, helo, "postmaster@%s" % helo, helo=helo, t_start=t
             )
-            self.validations.append(
+            self._note_validation(
                 ValidationRecord(
                     "helo-spf", helo, outcome.result.value, t, outcome.t_completed, outcome, client_ip
                 )
@@ -137,7 +151,7 @@ class ReceivingMta:
             domain = sender.domain
             sender_address = sender.address
         outcome = self.spf.check_host(client_ip, domain, sender_address, helo=helo_name, t_start=t)
-        self.validations.append(
+        self._note_validation(
             ValidationRecord(
                 "spf", domain, outcome.result.value, t, outcome.t_completed, outcome, client_ip
             )
@@ -146,7 +160,7 @@ class ReceivingMta:
 
     def run_dkim(self, message: EmailMessage, t: float, client_ip: Optional[str] = None):
         outcome, t_done = self.dkim.verify(message, t)
-        self.validations.append(
+        self._note_validation(
             ValidationRecord(
                 "dkim", outcome.domain or "-", outcome.result.value, t, t_done, outcome, client_ip
             )
@@ -160,7 +174,7 @@ class ReceivingMta:
         outcome, t_done = self.dmarc.evaluate(
             from_domain, spf_result, spf_domain, dkim_result, dkim_domain, t
         )
-        self.validations.append(
+        self._note_validation(
             ValidationRecord(
                 "dmarc", from_domain, outcome.result.value, t, t_done, outcome, client_ip
             )
@@ -174,6 +188,7 @@ class _MtaSession(SmtpSession):
     def __init__(self, mta: ReceivingMta, client_ip: str, t_accept: float) -> None:
         super().__init__(client_ip, t_accept)
         self.mta = mta
+        self.obs = mta.obs
         self.banner_host = mta.hostname
         self._spf_done = False
         self._spf_result: Optional[SpfResult] = None

@@ -17,6 +17,7 @@ from repro.dkim.sign import DkimSigner
 from repro.dns.rdata import RdataType
 from repro.dns.resolver import AuthorityDirectory, Resolver
 from repro.net.network import Network, is_ipv6
+from repro.obs import Observability, ensure_obs
 from repro.smtp.client import SmtpClient
 from repro.smtp.errors import SmtpClientError
 from repro.smtp.message import EmailMessage
@@ -54,6 +55,7 @@ class SendingMta:
         ipv6: Optional[str] = None,
         signer: Optional[DkimSigner] = None,
         prefer_ipv6: bool = False,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.hostname = hostname
         self.network = network
@@ -61,7 +63,8 @@ class SendingMta:
         self.ipv6 = ipv6
         self.signer = signer
         self.prefer_ipv6 = prefer_ipv6
-        self.resolver = Resolver(network, directory, address4=ipv4, address6=ipv6)
+        self.obs = ensure_obs(obs)
+        self.resolver = Resolver(network, directory, address4=ipv4, address6=ipv6, obs=self.obs)
         self.log: List[DeliveryRecord] = []
         network.add_address(ipv4)
         if ipv6:
@@ -108,6 +111,32 @@ class SendingMta:
         the message; up to ``max_retries`` further passes are made,
         ``retry_interval`` virtual seconds apart, Exim-style.
         """
+        obs = self.obs
+        with obs.tracer.span("mta.delivery", t, sender=self.hostname, recipient=recipient) as span:
+            record, t_done = self._send(
+                message, sender, recipient, t, sign, max_retries, retry_interval
+            )
+            if record.success:
+                outcome = "accepted"
+            elif record.reply is not None:
+                outcome = "rejected"
+            else:
+                outcome = "error"
+            span.set(outcome=outcome, attempts=len(record.attempts))
+            span.end(t_done)
+        obs.metrics.counter("mta_deliveries_total", (("outcome", outcome),), t=t_done)
+        return record, t_done
+
+    def _send(
+        self,
+        message: EmailMessage,
+        sender: str,
+        recipient: str,
+        t: float,
+        sign: bool,
+        max_retries: int,
+        retry_interval: float,
+    ) -> Tuple[DeliveryRecord, float]:
         record = DeliveryRecord(recipient=recipient, success=False, t_started=t)
         if sign and self.signer is not None and message.get_header("DKIM-Signature") is None:
             self.signer.sign(message, timestamp=int(t))
@@ -161,7 +190,7 @@ class SendingMta:
         address: str,
         t: float,
     ) -> Tuple[Reply, float]:
-        client, t = SmtpClient.connect(self.network, source, address, t)
+        client, t = SmtpClient.connect(self.network, source, address, t, obs=self.obs)
         try:
             reply, t = client.ehlo_or_helo(self.hostname, t)
             if not reply.is_success:

@@ -1,0 +1,72 @@
+"""Observability: metrics and span tracing over virtual time.
+
+The measurement harness's analyses are all derived from *observing* the
+simulated world — attributed DNS query streams, SMTP phase timings,
+per-policy lookup counts.  This package gives every protocol layer a
+uniform way to report what it did:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
+  fixed-bucket histograms keyed by name + label tuple;
+* :class:`~repro.obs.spans.Tracer` — context-manager spans with
+  parent/child causality, started and ended at explicit **virtual**
+  timestamps (never wall time; ``repro.lint.astcheck`` rule AST007
+  enforces the boundary mechanically);
+* exporters (:mod:`repro.obs.export`) — human-readable text table,
+  Prometheus text format, and a JSON-lines span dump in the same
+  header-tagged style as :mod:`repro.core.trace`;
+* :mod:`repro.obs.reconcile` — diffs resolver-side exchange spans
+  against the server-side attributed query log, so the two independent
+  witnesses of campaign behaviour must agree.
+
+Instrumented classes accept an ``obs=`` argument; passing ``None``
+selects :data:`NULL_OBS`, whose registry and tracer are allocation-free
+no-ops, so uninstrumented use stays cheap (benched in
+``benchmarks/bench_obs_overhead.py``).  :class:`~repro.core.campaign.
+Testbed` defaults to a live :class:`Observability`, which is what the
+experiment runner exports as ``<name>_metrics.txt`` /
+``<name>_spans.jsonl`` artefacts.
+
+The instrumentation contract — naming scheme, label cardinality rules,
+the virtual-time-only policy, exporter formats — is documented in
+``OBSERVABILITY.md`` at the repository root.
+"""
+
+from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
+from repro.obs.progress import ProgressSink
+from repro.obs.spans import NullTracer, Span, Tracer
+
+
+class Observability:
+    """A bundle of one metrics registry and one tracer.
+
+    Every layer of one simulated world shares a single bundle, so spans
+    nest across layers (an SMTP command span contains the SPF check it
+    triggered, which contains its DNS queries) and metrics roll up into
+    one namespace.
+    """
+
+    __slots__ = ("metrics", "tracer")
+
+    def __init__(self, metrics=None, tracer=None):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+
+    @property
+    def enabled(self) -> bool:
+        """False only for the shared no-op bundle (:data:`NULL_OBS`)."""
+        return self.metrics.enabled
+
+    def __repr__(self) -> str:
+        return "Observability(enabled=%r)" % self.enabled
+
+
+#: The shared no-op bundle: recording methods discard everything.
+#: Instrumented code paths branch on ``obs.enabled`` before building
+#: label tuples, so the disabled fast path costs one attribute read.
+NULL_OBS = Observability(NullMetricsRegistry(), NullTracer())
+
+
+def ensure_obs(obs):
+    """``obs`` if given, else :data:`NULL_OBS` — the instrumentation
+    default used by every ``obs=None`` constructor parameter."""
+    return obs if obs is not None else NULL_OBS

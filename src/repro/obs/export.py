@@ -1,0 +1,101 @@
+"""Metric exporters: human-readable text table and Prometheus text.
+
+Two renderings of one :class:`~repro.obs.metrics.MetricsRegistry`:
+
+* :func:`render_metrics_text` — the ``<name>_metrics.txt`` runner
+  artefact: one section per metric kind, one line per label
+  combination, histograms summarised as count/sum/mean plus
+  approximate p50/p90/p99 interpolated from the fixed buckets.
+* :func:`render_prometheus` — the Prometheus exposition format
+  (``# TYPE`` comments, ``name{label="value"} value`` samples,
+  cumulative ``_bucket``/``_sum``/``_count`` histogram series), for
+  scraping pipelines and for diffing runs with standard tooling.
+
+Timestamps in both formats are **virtual seconds** (the registry's
+``virtual_time`` high-water mark); see ``OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.obs.metrics import Histogram, LabelsKey, MetricsRegistry
+
+
+def _label_text(labels: LabelsKey) -> str:
+    if not labels:
+        return ""
+    return "{%s}" % ",".join("%s=%s" % (key, value) for key, value in labels)
+
+
+def _prom_labels(labels: LabelsKey, extra: str = "") -> str:
+    parts = ['%s="%s"' % (key, str(value).replace('"', '\\"')) for key, value in labels]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{%s}" % ",".join(parts)
+
+
+def _number(value: float) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return "%g" % value
+
+
+def render_metrics_text(registry: MetricsRegistry, header: str = "metrics") -> str:
+    """The human-facing table (the ``*_metrics.txt`` artefact body)."""
+    lines = [
+        "%s (virtual time %.3f s, %d series)" % (header, registry.virtual_time, len(registry)),
+        "=" * 72,
+    ]
+    for kind in ("counter", "gauge", "histogram"):
+        names = [name for name in registry.names() if registry.kind_of(name) == kind]
+        if not names:
+            continue
+        lines.append("")
+        lines.append("%ss" % kind)
+        lines.append("-" * len(kind) + "-")
+        for name in names:
+            for labels, value in registry.series(name):
+                if isinstance(value, Histogram):
+                    lines.append(
+                        "  %-46s count=%d sum=%s mean=%s p50=%s p90=%s p99=%s"
+                        % (
+                            name + _label_text(labels),
+                            value.count,
+                            _number(round(value.total, 6)),
+                            _number(round(value.mean, 6)),
+                            _number(round(value.quantile(0.5), 6)),
+                            _number(round(value.quantile(0.9), 6)),
+                            _number(round(value.quantile(0.99), 6)),
+                        )
+                    )
+                else:
+                    lines.append("  %-46s %s" % (name + _label_text(labels), _number(value)))
+    return "\n".join(lines)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus exposition format (text version 0.0.4)."""
+    lines: List[str] = []
+    for name in registry.names():
+        kind = registry.kind_of(name)
+        lines.append("# TYPE %s %s" % (name, kind))
+        for labels, value in registry.series(name):
+            if isinstance(value, Histogram):
+                cumulative = 0
+                for position, bound in enumerate(value.buckets):
+                    cumulative += value.counts[position]
+                    lines.append(
+                        "%s_bucket%s %d"
+                        % (name, _prom_labels(labels, 'le="%s"' % _number(bound)), cumulative)
+                    )
+                lines.append(
+                    "%s_bucket%s %d" % (name, _prom_labels(labels, 'le="+Inf"'), value.count)
+                )
+                lines.append("%s_sum%s %s" % (name, _prom_labels(labels), _number(value.total)))
+                lines.append("%s_count%s %d" % (name, _prom_labels(labels), value.count))
+            else:
+                lines.append("%s%s %s" % (name, _prom_labels(labels), _number(value)))
+    return "\n".join(lines) + "\n"

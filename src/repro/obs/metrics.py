@@ -1,0 +1,222 @@
+"""Metrics: counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` holds three kinds of series, each keyed by
+``(name, labels)`` where ``labels`` is a tuple of ``(key, value)``
+pairs:
+
+* **counters** — monotonically increasing totals (``*_total``);
+* **gauges** — last-write-wins values;
+* **histograms** — fixed-bucket distributions (``le`` upper bounds in
+  the Prometheus style) with sum and count.
+
+Timestamps are **virtual**: every recording method takes an optional
+``t`` drawn from the simulation's :class:`~repro.net.clock.Clock`, and
+the registry tracks the latest virtual instant it has seen.  Nothing in
+this module may read the wall clock — ``repro.lint.astcheck`` enforces
+that mechanically (AST001/AST007).
+
+:class:`NullMetricsRegistry` is the no-op fast path: its recording
+methods discard everything, so instrumentation left on by default costs
+almost nothing when a caller opts out (see
+``benchmarks/bench_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+LabelsArg = Union[Mapping[str, object], Sequence[Tuple[str, object]]]
+LabelsKey = Tuple[Tuple[str, object], ...]
+
+#: Default histogram buckets, tuned for virtual-time durations in
+#: seconds (DNS round trips through multi-minute SMTP conversations).
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+
+def normalize_labels(labels: LabelsArg) -> LabelsKey:
+    """Canonical label key: mappings are sorted; pair sequences are
+    trusted to arrive in a consistent order (the hot-path form)."""
+    if isinstance(labels, Mapping):
+        return tuple(sorted(labels.items()))
+    return tuple(labels)
+
+
+class Histogram:
+    """One histogram series: fixed ``le`` buckets plus sum and count."""
+
+    __slots__ = ("buckets", "counts", "total", "count")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)  # last = +Inf
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        # bisect_left finds the first bound >= value, i.e. the ``le``
+        # bucket the observation belongs to (or +Inf past the end).
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile by linear interpolation within the
+        bucket that carries the ``q``-th observation (Prometheus-style:
+        an upper-bound estimate, exact only at bucket boundaries)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]: %r" % q)
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for position, bound in enumerate(self.buckets):
+            previous = cumulative
+            cumulative += self.counts[position]
+            if cumulative >= rank:
+                share = (rank - previous) / self.counts[position]
+                return lower + (bound - lower) * share
+            lower = bound
+        return self.buckets[-1] if self.buckets else 0.0
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms for one simulated world."""
+
+    enabled = True
+
+    __slots__ = ("_counters", "_gauges", "_histograms", "_buckets", "virtual_time")
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Dict[LabelsKey, float]] = {}
+        self._gauges: Dict[str, Dict[LabelsKey, float]] = {}
+        self._histograms: Dict[str, Dict[LabelsKey, Histogram]] = {}
+        self._buckets: Dict[str, Tuple[float, ...]] = {}
+        #: Latest virtual timestamp any recording carried.
+        self.virtual_time = 0.0
+
+    # -- recording -------------------------------------------------------
+
+    def counter(
+        self, name: str, labels: LabelsArg = (), value: float = 1.0, t: Optional[float] = None
+    ) -> None:
+        """Add ``value`` (default 1) to the counter series."""
+        # This and observe() are the hottest obs calls in a campaign
+        # (see benchmarks/bench_obs_overhead.py), hence the manually
+        # inlined label/stamp fast paths.
+        if value < 0:
+            raise ValueError("counters only go up; got %r for %s" % (value, name))
+        key = labels if type(labels) is tuple else normalize_labels(labels)
+        series = self._counters.get(name)
+        if series is None:
+            series = self._counters[name] = {}
+        series[key] = series.get(key, 0.0) + value
+        if t is not None and t > self.virtual_time:
+            self.virtual_time = t
+
+    def gauge(self, name: str, value: float, labels: LabelsArg = (), t: Optional[float] = None) -> None:
+        """Set the gauge series to ``value`` (last write wins)."""
+        key = labels if type(labels) is tuple else normalize_labels(labels)
+        self._gauges.setdefault(name, {})[key] = value
+        self._stamp(t)
+
+    def observe(self, name: str, value: float, labels: LabelsArg = (), t: Optional[float] = None) -> None:
+        """Record one observation into the histogram series."""
+        key = labels if type(labels) is tuple else normalize_labels(labels)
+        series = self._histograms.get(name)
+        if series is None:
+            series = self._histograms[name] = {}
+        histogram = series.get(key)
+        if histogram is None:
+            histogram = series[key] = Histogram(self._buckets.get(name, DEFAULT_TIME_BUCKETS))
+        histogram.counts[bisect_left(histogram.buckets, value)] += 1
+        histogram.total += value
+        histogram.count += 1
+        if t is not None and t > self.virtual_time:
+            self.virtual_time = t
+
+    def declare_histogram(self, name: str, buckets: Sequence[float]) -> None:
+        """Fix the bucket bounds for histogram ``name``.
+
+        Declaring the same bounds twice is a no-op; changing the bounds
+        of a name that already has data is an error (the counts would be
+        meaningless).
+        """
+        bounds = tuple(buckets)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError("histogram buckets must be strictly increasing: %r" % (bounds,))
+        existing = self._buckets.get(name)
+        if existing == bounds:
+            return
+        if existing is not None or name in self._histograms:
+            raise ValueError("histogram %s already declared with different buckets" % name)
+        self._buckets[name] = bounds
+
+    def _stamp(self, t: Optional[float]) -> None:
+        if t is not None and t > self.virtual_time:
+            self.virtual_time = t
+
+    # -- reading ---------------------------------------------------------
+
+    def counter_value(self, name: str, labels: LabelsArg = ()) -> float:
+        return self._counters.get(name, {}).get(normalize_labels(labels), 0.0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of the counter across every label combination."""
+        return sum(self._counters.get(name, {}).values())
+
+    def gauge_value(self, name: str, labels: LabelsArg = ()) -> Optional[float]:
+        return self._gauges.get(name, {}).get(normalize_labels(labels))
+
+    def histogram(self, name: str, labels: LabelsArg = ()) -> Optional[Histogram]:
+        return self._histograms.get(name, {}).get(normalize_labels(labels))
+
+    def names(self) -> List[str]:
+        """Every metric name with at least one recording, sorted."""
+        return sorted(set(self._counters) | set(self._gauges) | set(self._histograms))
+
+    def kind_of(self, name: str) -> Optional[str]:
+        if name in self._counters:
+            return "counter"
+        if name in self._gauges:
+            return "gauge"
+        if name in self._histograms:
+            return "histogram"
+        return None
+
+    def series(self, name: str) -> Iterable[Tuple[LabelsKey, object]]:
+        """``(labels, value-or-Histogram)`` pairs for one name, sorted
+        by labels, whatever the metric kind."""
+        for store in (self._counters, self._gauges, self._histograms):
+            if name in store:
+                return sorted(store[name].items())
+        return []
+
+    def __len__(self) -> int:
+        return sum(len(store) for store in (self._counters, self._gauges, self._histograms))
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """The no-op fast path: records nothing, reads as empty."""
+
+    enabled = False
+
+    def counter(self, name, labels=(), value=1.0, t=None):  # noqa: D102
+        pass
+
+    def gauge(self, name, value, labels=(), t=None):
+        pass
+
+    def observe(self, name, value, labels=(), t=None):
+        pass
+
+    def declare_histogram(self, name, buckets):
+        pass

@@ -1,0 +1,55 @@
+"""The progress sink: the one place human-facing output happens.
+
+Campaign code reports progress through a :class:`ProgressSink` rather
+than calling ``print`` directly, so ``--quiet`` silences *everything*
+uniformly — including post-flight warnings — and tests can capture
+progress without patching stdout.
+
+This module is also one of only two sanctioned homes for wall-clock
+reads (the other being :mod:`repro.net.clock` itself): a sink stamps
+its "all done in N s" line from real time because it talks to a human,
+never to the simulation.  ``repro.lint.astcheck`` rule AST007 rejects
+``wall_now()`` calls anywhere else, which is what keeps metrics and
+spans on virtual time by construction.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Optional
+
+from repro.net.clock import wall_now
+
+
+class ProgressSink:
+    """Human-facing progress output with a single quiet switch."""
+
+    def __init__(self, quiet: bool = False, stream: Optional[IO[str]] = None) -> None:
+        self.quiet = quiet
+        self.stream = stream if stream is not None else sys.stdout
+        self.t_started = wall_now()
+        #: Messages emitted through :meth:`warn`, kept even when quiet
+        #: so callers can still assert on (or log) what went wrong.
+        self.warnings: list = []
+
+    def say(self, message: str) -> None:
+        """Emit one progress line (suppressed by ``quiet``)."""
+        if not self.quiet:
+            print(message, file=self.stream)
+
+    __call__ = say
+
+    def warn(self, message: str) -> None:
+        """Emit one warning line.
+
+        Warnings respect ``quiet`` like everything else — uniform
+        silence is the contract — but are remembered on
+        :attr:`warnings` regardless, so a quiet caller can inspect them.
+        """
+        self.warnings.append(message)
+        self.say(message)
+
+    def elapsed(self) -> float:
+        """Real seconds since this sink was created (for the final
+        human-facing stamp only; simulation code never sees this)."""
+        return wall_now() - self.t_started

@@ -10,53 +10,95 @@ the stack.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Optional, Tuple
 
 from repro.net.errors import NetError
 from repro.net.network import Network, SMTP_PORT, TcpChannel
+from repro.obs import Observability, ensure_obs
 from repro.smtp.errors import SmtpClientError
 from repro.smtp.message import EmailMessage
 from repro.smtp.protocol import CRLF, Reply, dot_stuff
 
 
+@lru_cache(maxsize=None)
+def _command_labels(verb: str, code_class: int) -> tuple:
+    # Verbs and reply classes form a tiny closed set; memoizing keeps the
+    # per-command hot path from rebuilding the same label tuples.
+    return (("command", verb), ("code_class", "%dxx" % code_class))
+
+
+@lru_cache(maxsize=None)
+def _verb_labels(verb: str) -> tuple:
+    return (("command", verb),)
+
+
 class SmtpClient:
     """A client-side SMTP conversation over one TCP connection."""
 
-    def __init__(self, channel: TcpChannel, greeting: Reply) -> None:
+    def __init__(
+        self, channel: TcpChannel, greeting: Reply, obs: Optional[Observability] = None
+    ) -> None:
         self.channel = channel
         self.greeting = greeting
+        self.obs = ensure_obs(obs)
         self.transcript: list = [("S", greeting, channel.t_established)]
 
     # -- connection -------------------------------------------------------
 
     @classmethod
     def connect(
-        cls, network: Network, src_ip: str, dst_ip: str, t_connect: float, port: int = SMTP_PORT
+        cls,
+        network: Network,
+        src_ip: str,
+        dst_ip: str,
+        t_connect: float,
+        port: int = SMTP_PORT,
+        obs: Optional[Observability] = None,
     ) -> Tuple["SmtpClient", float]:
         """Open a connection; returns the client and the time the banner
         finished arriving.  Raises :class:`SmtpClientError` when the server
         refuses the connection or greets with a failure code."""
+        obs = ensure_obs(obs)
+        metrics = obs.metrics
         try:
             channel = network.connect_tcp(src_ip, dst_ip, port, t_connect)
         except NetError as exc:
+            metrics.counter("smtp_client_connects_total", (("outcome", "refused"),), t=t_connect)
             raise SmtpClientError("connect failed: %s" % exc) from exc
         if channel.greeting is None:
+            metrics.counter("smtp_client_connects_total", (("outcome", "nobanner"),), t=t_connect)
             raise SmtpClientError("no SMTP banner")
         greeting = Reply.from_bytes(channel.greeting)
-        client = cls(channel, greeting)
+        client = cls(channel, greeting, obs=obs)
         if not greeting.is_success:
+            metrics.counter(
+                "smtp_client_connects_total", (("outcome", "unfriendly"),), t=channel.t_established
+            )
             raise SmtpClientError("unfriendly banner: %s" % greeting.text, greeting)
+        metrics.counter("smtp_client_connects_total", (("outcome", "ok"),), t=channel.t_established)
         return client, channel.t_established
 
     # -- command rounds -----------------------------------------------------
 
     def command(self, line: str, t_send: float) -> Tuple[Reply, float]:
         """Send one command line and parse the reply."""
-        data = (line + CRLF).encode("utf-8")
-        raw, t_reply = self.channel.request(data, t_send)
-        if raw is None:
-            raise SmtpClientError("server closed or stayed silent after %r" % line)
-        reply = Reply.from_bytes(raw)
+        verb = line.split(None, 1)[0].upper() if line else ""
+        obs = self.obs
+        with obs.tracer.span("smtp.command", t_send, command=verb) as span:
+            data = (line + CRLF).encode("utf-8")
+            raw, t_reply = self.channel.request(data, t_send)
+            if raw is None:
+                raise SmtpClientError("server closed or stayed silent after %r" % line)
+            reply = Reply.from_bytes(raw)
+            span.set(code=reply.code)
+            span.end(t_reply)
+        obs.metrics.counter(
+            "smtp_client_commands_total", _command_labels(verb, reply.code // 100), t=t_reply
+        )
+        obs.metrics.observe(
+            "smtp_client_command_seconds", t_reply - t_send, _verb_labels(verb), t=t_reply
+        )
         self.transcript.append(("C", line, t_send))
         self.transcript.append(("S", reply, t_reply))
         return reply, t_reply
@@ -89,10 +131,20 @@ class SmtpClient:
         server's final disposition reply."""
         body = dot_stuff(message.to_text())
         data = (body + CRLF + "." + CRLF).encode("utf-8")
-        raw, t_reply = self.channel.request(data, t)
-        if raw is None:
-            raise SmtpClientError("no reply to message data")
-        reply = Reply.from_bytes(raw)
+        obs = self.obs
+        with obs.tracer.span("smtp.command", t, command="MESSAGE", bytes=len(data)) as span:
+            raw, t_reply = self.channel.request(data, t)
+            if raw is None:
+                raise SmtpClientError("no reply to message data")
+            reply = Reply.from_bytes(raw)
+            span.set(code=reply.code)
+            span.end(t_reply)
+        obs.metrics.counter(
+            "smtp_client_commands_total", _command_labels("MESSAGE", reply.code // 100), t=t_reply
+        )
+        obs.metrics.observe(
+            "smtp_client_command_seconds", t_reply - t, _verb_labels("MESSAGE"), t=t_reply
+        )
         self.transcript.append(("C", "<message: %d bytes>" % len(data), t))
         self.transcript.append(("S", reply, t_reply))
         return reply, t_reply

@@ -10,14 +10,23 @@ is how validation time becomes visible to the measurement harness).
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable, List, Optional, Tuple
 
 from repro.net.network import Network, SMTP_PORT
+from repro.obs import NULL_OBS
 from repro.smtp.errors import SmtpProtocolError
 from repro.smtp.message import EmailMessage
 from repro.smtp.protocol import CRLF, Mailbox, Reply, dot_unstuff, parse_command, parse_path
 
 HookResult = Tuple[Reply, float]
+
+
+@lru_cache(maxsize=None)
+def _verb_labels(verb: str) -> tuple:
+    # The command verbs form a tiny closed set; memoizing keeps the
+    # per-command hot path from rebuilding the same label tuple.
+    return (("command", verb),)
 
 
 class SmtpSession:
@@ -38,6 +47,9 @@ class SmtpSession:
     """
 
     banner_host = "mx.invalid"
+    #: Observability bundle; subclasses bound to an instrumented MTA
+    #: overwrite this per instance with the testbed-wide bundle.
+    obs = NULL_OBS
 
     def __init__(self, client_ip: str, t_accept: float) -> None:
         self.client_ip = client_ip
@@ -54,6 +66,7 @@ class SmtpSession:
     # -- TCP session duck-type ------------------------------------------
 
     def on_connect(self, t: float) -> bytes:
+        self.obs.metrics.counter("smtp_server_sessions_total", t=t)
         reply, _ = self.on_banner(t)
         return reply.to_bytes()
 
@@ -85,6 +98,21 @@ class SmtpSession:
             command = parse_command(line)
         except SmtpProtocolError:
             return Reply(500, "Syntax error"), 0.0
+        # The span opens before dispatch so hook-triggered work (an SPF
+        # check and its DNS queries, say) nests underneath it.
+        obs = self.obs
+        with obs.tracer.span("smtp.server.command", t, command=command.verb) as span:
+            result = self._dispatch(command, t)
+            if result is not None:
+                reply, delay = result
+                span.set(code=reply.code)
+                span.end(t + delay)
+                labels = _verb_labels(command.verb)
+                obs.metrics.counter("smtp_server_commands_total", labels, t=t + delay)
+                obs.metrics.observe("smtp_server_processing_seconds", delay, labels, t=t + delay)
+        return result
+
+    def _dispatch(self, command, t: float) -> Optional[HookResult]:
         verb = command.verb
         if verb == "EHLO":
             self.used_esmtp = True
@@ -157,7 +185,13 @@ class SmtpSession:
             text = dot_unstuff(CRLF.join(self._data_lines))
             message = EmailMessage.from_text(text)
             self._data_lines = []
-            result = self.on_message(message, t)
+            obs = self.obs
+            with obs.tracer.span("smtp.server.message", t, bytes=len(text)) as span:
+                result = self.on_message(message, t)
+                reply, delay = result
+                span.set(code=reply.code)
+                span.end(t + delay)
+            obs.metrics.counter("smtp_server_messages_total", (("code", str(reply.code)),), t=t + delay)
             self._reset_envelope()
             return result
         self._data_lines.append(line)

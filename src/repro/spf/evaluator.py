@@ -27,11 +27,13 @@ from __future__ import annotations
 
 import ipaddress
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 from repro.dns.name import Name
 from repro.dns.rdata import RdataType
 from repro.dns.resolver import Answer, Resolver
+from repro.obs import Observability, ensure_obs
 from repro.spf.errors import SpfSyntaxError
 from repro.spf.macros import MacroContext, expand_macros
 from repro.spf.parser import parse_record
@@ -50,6 +52,13 @@ from repro.spf.terms import (
     SpfRecord,
     looks_like_spf,
 )
+
+
+@lru_cache(maxsize=None)
+def _result_labels(result_value: str) -> tuple:
+    # The seven SPF results form a closed set; memoizing keeps the
+    # per-check hot path from rebuilding the same label tuple.
+    return (("result", result_value),)
 
 
 @dataclass
@@ -97,15 +106,24 @@ class _CheckState:
 class SpfEvaluator:
     """Evaluates SPF for (client IP, MAIL FROM domain, sender) triples."""
 
+    #: Buckets for the per-check lookup-count histograms (the paper's
+    #: distributions cluster under the RFC's 10-lookup limit but stretch
+    #: to 46 for limit-ignoring validators).
+    LOOKUP_BUCKETS = (0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 15.0, 20.0, 30.0, 50.0)
+
     def __init__(
         self,
         resolver: Resolver,
         config: Optional[SpfConfig] = None,
         receiving_host: str = "receiver.invalid",
+        obs: Optional[Observability] = None,
     ) -> None:
         self.resolver = resolver
         self.config = config if config is not None else SpfConfig()
         self.receiving_host = receiving_host
+        self.obs = ensure_obs(obs)
+        self.obs.metrics.declare_histogram("spf_lookups_per_check", self.LOOKUP_BUCKETS)
+        self.obs.metrics.declare_histogram("spf_void_lookups_per_check", self.LOOKUP_BUCKETS)
 
     # -- public API -------------------------------------------------------
 
@@ -130,12 +148,24 @@ class SpfEvaluator:
             helo=helo if helo is not None else domain,
             receiving_host=self.receiving_host,
         )
-        try:
-            result, explanation, matched, t_done = self._check(
-                client_ip, domain, context, state, t_start, depth=0
+        obs = self.obs
+        with obs.tracer.span("spf.check_host", t_start, domain=domain, client_ip=client_ip) as span:
+            try:
+                result, explanation, matched, t_done = self._check(
+                    client_ip, domain, context, state, t_start, depth=0
+                )
+            except _Abort as abort:
+                result, explanation, matched, t_done = abort.result, abort.reason, None, abort.t
+            span.set(
+                result=result.value,
+                lookups=state.mechanism_lookups,
+                voids=state.void_lookups,
             )
-        except _Abort as abort:
-            result, explanation, matched, t_done = abort.result, abort.reason, None, abort.t
+            span.end(t_done)
+        obs.metrics.counter("spf_checks_total", _result_labels(result.value), t=t_done)
+        obs.metrics.observe("spf_check_seconds", t_done - t_start, t=t_done)
+        obs.metrics.observe("spf_lookups_per_check", state.mechanism_lookups, t=t_done)
+        obs.metrics.observe("spf_void_lookups_per_check", state.void_lookups, t=t_done)
         return SpfCheckOutcome(
             result=result,
             domain=domain,

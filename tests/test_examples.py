@@ -59,6 +59,19 @@ def test_zone_lint(capsys):
     assert '"DMARC002"' in out  # the JSON rendering of p=none
 
 
+def test_observability(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["observability.py", "0.003"])
+    _load("observability").main()
+    out = capsys.readouterr().out
+    assert "campaign metrics" in out
+    assert "spf_checks_total" in out
+    assert "probe.conversation" in out
+    assert "spf.check_host" in out
+    assert "dns.exchange" in out
+    assert "-> MATCH" in out
+    assert "virtual" in out
+
+
 def test_probe_campaign(capsys, monkeypatch):
     monkeypatch.setattr(sys, "argv", ["probe_campaign.py", "0.003"])
     _load("probe_campaign").main()

@@ -95,6 +95,66 @@ class TestWallClock:
         assert report.diagnostics == []
 
 
+class TestWallNowContainment:
+    def test_wall_now_call_flagged(self, tmp_path):
+        report = _check(
+            tmp_path,
+            "core/bad.py",
+            """
+            from repro.net.clock import wall_now
+            started = wall_now()
+            """,
+        )
+        assert report.codes() == ["AST007"]
+        assert "sanctioned" in report.diagnostics[0].message
+
+    def test_dotted_call_flagged(self, tmp_path):
+        report = _check(
+            tmp_path,
+            "core/bad.py",
+            """
+            from repro.net import clock
+            started = clock.wall_now()
+            """,
+        )
+        assert report.has("AST007")
+
+    def test_clock_module_is_sanctioned(self, tmp_path):
+        report = _check(
+            tmp_path,
+            "net/clock.py",
+            """
+            import time
+            def wall_now():
+                return time.time()
+            started = wall_now()
+            """,
+        )
+        assert report.diagnostics == []
+
+    def test_progress_sink_is_sanctioned(self, tmp_path):
+        report = _check(
+            tmp_path,
+            "obs/progress.py",
+            """
+            from repro.net.clock import wall_now
+            started = wall_now()
+            """,
+        )
+        assert report.diagnostics == []
+
+    def test_suppression_waives(self, tmp_path):
+        report = _check(
+            tmp_path,
+            "core/waived.py",
+            """
+            from repro.net.clock import wall_now
+            started = wall_now()  # lint: disable=AST007
+            """,
+        )
+        assert report.diagnostics == []
+
+
 class TestSocket:
     def test_import_socket_flagged(self, tmp_path):
         report = _check(tmp_path, "core/bad.py", "import socket\n")

@@ -1,0 +1,181 @@
+"""Tests for the metrics registry and its exporters."""
+
+import pytest
+
+from repro.obs.export import render_metrics_text, render_prometheus
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    normalize_labels,
+)
+
+
+class TestLabels:
+    def test_mapping_is_sorted(self):
+        assert normalize_labels({"b": 2, "a": 1}) == (("a", 1), ("b", 2))
+
+    def test_pair_sequence_is_trusted_verbatim(self):
+        pairs = (("b", 2), ("a", 1))
+        assert normalize_labels(pairs) == pairs
+
+    def test_equivalent_mappings_hit_one_series(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", {"a": 1, "b": 2})
+        registry.counter("x_total", {"b": 2, "a": 1})
+        assert registry.counter_value("x_total", {"a": 1, "b": 2}) == 2.0
+
+
+class TestCounters:
+    def test_default_increment_is_one(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total")
+        registry.counter("hits_total")
+        assert registry.counter_value("hits_total") == 2.0
+
+    def test_labelled_series_are_independent(self):
+        registry = MetricsRegistry()
+        registry.counter("q_total", (("rdtype", "TXT"),), value=3)
+        registry.counter("q_total", (("rdtype", "A"),))
+        assert registry.counter_value("q_total", (("rdtype", "TXT"),)) == 3.0
+        assert registry.counter_value("q_total", (("rdtype", "A"),)) == 1.0
+        assert registry.counter_total("q_total") == 4.0
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("hits_total", value=-1)
+
+    def test_unknown_counter_reads_zero(self):
+        assert MetricsRegistry().counter_value("nope_total") == 0.0
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("domains", 10)
+        registry.gauge("domains", 7)
+        assert registry.gauge_value("domains") == 7
+
+    def test_unknown_gauge_is_none(self):
+        assert MetricsRegistry().gauge_value("nope") is None
+
+
+class TestHistograms:
+    def test_observations_land_in_buckets(self):
+        histogram = Histogram((1.0, 2.0))
+        for value in (0.5, 1.5, 99.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 1, 1]
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(101.0)
+        assert histogram.mean == pytest.approx(101.0 / 3)
+
+    def test_quantile_interpolates_within_bucket(self):
+        histogram = Histogram((10.0,))
+        for _ in range(4):
+            histogram.observe(5.0)
+        # All mass in [0, 10]; p50 interpolates to the bucket midpoint.
+        assert histogram.quantile(0.5) == pytest.approx(5.0)
+        assert histogram.quantile(1.0) == pytest.approx(10.0)
+
+    def test_quantile_of_empty_is_zero(self):
+        assert Histogram((1.0,)).quantile(0.5) == 0.0
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram((1.0,)).quantile(1.5)
+
+    def test_registry_uses_default_time_buckets(self):
+        registry = MetricsRegistry()
+        registry.observe("latency_seconds", 0.02)
+        assert registry.histogram("latency_seconds").buckets == DEFAULT_TIME_BUCKETS
+
+    def test_declared_buckets_are_used(self):
+        registry = MetricsRegistry()
+        registry.declare_histogram("lookups_per_check", (0.0, 5.0, 10.0))
+        registry.observe("lookups_per_check", 3)
+        assert registry.histogram("lookups_per_check").buckets == (0.0, 5.0, 10.0)
+
+    def test_redeclaring_same_buckets_is_noop(self):
+        registry = MetricsRegistry()
+        registry.declare_histogram("h", (1.0, 2.0))
+        registry.declare_histogram("h", (1.0, 2.0))
+
+    def test_redeclaring_different_buckets_is_error(self):
+        registry = MetricsRegistry()
+        registry.declare_histogram("h", (1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.declare_histogram("h", (1.0, 3.0))
+
+    def test_non_increasing_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().declare_histogram("h", (2.0, 1.0))
+
+
+class TestRegistryReaders:
+    def test_virtual_time_is_a_high_water_mark(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", t=5.0)
+        registry.gauge("b", 1, t=3.0)
+        assert registry.virtual_time == 5.0
+
+    def test_names_kinds_and_len(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total")
+        registry.gauge("g", 1)
+        registry.observe("h_seconds", 0.1)
+        assert registry.names() == ["c_total", "g", "h_seconds"]
+        assert registry.kind_of("c_total") == "counter"
+        assert registry.kind_of("g") == "gauge"
+        assert registry.kind_of("h_seconds") == "histogram"
+        assert registry.kind_of("missing") is None
+        assert len(registry) == 3
+
+    def test_series_sorted_by_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", (("k", "b"),))
+        registry.counter("c_total", (("k", "a"),))
+        labels = [key for key, _ in registry.series("c_total")]
+        assert labels == [(("k", "a"),), (("k", "b"),)]
+
+
+class TestNullRegistry:
+    def test_records_nothing(self):
+        registry = NullMetricsRegistry()
+        registry.counter("c_total", t=9.0)
+        registry.gauge("g", 1)
+        registry.observe("h", 0.5)
+        registry.declare_histogram("h", (1.0,))
+        assert len(registry) == 0
+        assert registry.virtual_time == 0.0
+        assert not registry.enabled
+
+
+class TestExporters:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("q_total", (("rdtype", "TXT"),), value=2, t=4.0)
+        registry.gauge("domains", 12)
+        registry.observe("t_seconds", 0.02)
+        return registry
+
+    def test_text_table_sections(self):
+        text = render_metrics_text(self._registry(), header="demo metrics")
+        assert "demo metrics (virtual time 4.000 s, 3 series)" in text
+        assert "counters" in text and "gauges" in text and "histograms" in text
+        assert "q_total{rdtype=TXT}" in text
+        assert "count=1" in text and "p50=" in text
+
+    def test_prometheus_exposition(self):
+        text = render_prometheus(self._registry())
+        assert '# TYPE q_total counter' in text
+        assert 'q_total{rdtype="TXT"} 2' in text
+        assert "# TYPE t_seconds histogram" in text
+        assert 't_seconds_bucket{le="+Inf"} 1' in text
+        assert "t_seconds_count 1" in text
+        # Buckets are cumulative: every bound at/above 0.025 carries the
+        # single observation.
+        assert 't_seconds_bucket{le="0.025"} 1' in text
+        assert 't_seconds_bucket{le="0.01"} 0' in text

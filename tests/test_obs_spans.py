@@ -1,0 +1,175 @@
+"""Tests for virtual-time span tracing and the JSONL span dumps."""
+
+import pytest
+
+from repro.obs.spans import (
+    NullTracer,
+    SpanError,
+    Tracer,
+    load_spans,
+    render_span,
+    render_tree,
+    save_spans,
+)
+
+
+class TestSpanLifecycle:
+    def test_nesting_is_causality(self):
+        tracer = Tracer()
+        with tracer.span("outer", 0.0) as outer:
+            with tracer.span("inner", 1.0) as inner:
+                inner.end(2.0)
+            outer.end(3.0)
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # Finished in completion order: innermost first.
+        assert [span.name for span in tracer.finished] == ["inner", "outer"]
+
+    def test_siblings_share_a_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent", 0.0):
+            with tracer.span("a", 0.0):
+                pass
+            with tracer.span("b", 1.0):
+                pass
+        a, b, _ = tracer.finished
+        assert a.parent_id == b.parent_id
+
+    def test_end_before_start_rejected(self):
+        tracer = Tracer()
+        span = tracer.span("x", 5.0)
+        with pytest.raises(ValueError):
+            span.end(4.0)
+
+    def test_unended_span_closes_at_start(self):
+        tracer = Tracer()
+        with tracer.span("x", 7.0):
+            pass
+        assert tracer.finished[0].t_end == 7.0
+        assert tracer.finished[0].duration == 0.0
+
+    def test_exception_recorded_as_error_attr(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("x", 0.0):
+                raise RuntimeError("boom")
+        assert tracer.finished[0].attrs["error"] == "RuntimeError: boom"
+
+    def test_set_updates_attrs(self):
+        tracer = Tracer()
+        with tracer.span("x", 0.0, a=1) as span:
+            span.set(b=2, a=3)
+        assert tracer.finished[0].attrs == {"a": 3, "b": 2}
+
+
+class TestTracerQueries:
+    def _tracer(self):
+        tracer = Tracer()
+        with tracer.span("conv", 0.0) as conv:
+            with tracer.span("cmd", 1.0):
+                pass
+            with tracer.span("cmd", 2.0):
+                pass
+            conv.end(3.0)
+        return tracer
+
+    def test_find_filters_by_name(self):
+        tracer = self._tracer()
+        assert len(tracer.find("cmd")) == 2
+        assert len(tracer.find()) == 3
+        assert tracer.find("missing") == []
+
+    def test_roots_and_children_index(self):
+        tracer = self._tracer()
+        (root,) = tracer.roots()
+        assert root.name == "conv"
+        children = tracer.children_index()[root.span_id]
+        assert [child.t_start for child in children] == [1.0, 2.0]
+
+    def test_clear_and_len(self):
+        tracer = self._tracer()
+        assert len(tracer) == 3
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestNullTracer:
+    def test_shared_noop_span(self):
+        tracer = NullTracer()
+        with tracer.span("a", 0.0) as a:
+            a.set(ignored=True).end(9.0)
+        b = tracer.span("b", 1.0)
+        assert a is b
+        assert len(tracer) == 0
+        assert not tracer.enabled
+
+
+class TestRendering:
+    def test_render_span_line(self):
+        tracer = Tracer()
+        with tracer.span("dns.query", 1.0, qname="example.com.") as span:
+            span.end(1.5)
+        line = render_span(tracer.finished[0])
+        assert line.startswith("dns.query [1.000 .. 1.500] (0.500s)")
+        assert "qname=example.com." in line
+
+    def test_render_tree_glyphs(self):
+        tracer = Tracer()
+        with tracer.span("root", 0.0):
+            with tracer.span("first", 0.0):
+                pass
+            with tracer.span("last", 1.0):
+                with tracer.span("leaf", 1.0):
+                    pass
+        (root,) = tracer.roots()
+        tree = render_tree(root, tracer.finished)
+        lines = tree.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("|- first")
+        assert lines[2].startswith("`- last")
+        assert lines[3].startswith("   `- leaf")
+
+
+class TestDumpRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("conv", 0.0, mtaid="m1") as conv:
+            with tracer.span("cmd", 1.0) as cmd:
+                cmd.set(code=250).end(2.0)
+            conv.end(3.0)
+        path = tmp_path / "spans.jsonl"
+        assert save_spans(tracer.finished, path) == 2
+        loaded = load_spans(path)
+        assert [span.name for span in loaded] == ["cmd", "conv"]
+        by_name = {span.name: span for span in loaded}
+        assert by_name["cmd"].parent_id == by_name["conv"].span_id
+        assert by_name["cmd"].attrs == {"code": 250}
+        assert by_name["conv"].t_end == 3.0
+
+    def test_non_json_attrs_stringified(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("x", 0.0, where=("a", "b")):
+            pass
+        path = tmp_path / "spans.jsonl"
+        save_spans(tracer.finished, path)
+        assert load_spans(path)[0].attrs["where"] == "('a', 'b')"
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n", encoding="utf-8")
+        with pytest.raises(SpanError):
+            load_spans(path)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "repro-queries", "version": 1}\n', encoding="utf-8")
+        with pytest.raises(SpanError):
+            load_spans(path)
+
+    def test_bad_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"format": "repro-spans", "version": 1}\n{"name": "x"}\n', encoding="utf-8"
+        )
+        with pytest.raises(SpanError):
+            load_spans(path)
