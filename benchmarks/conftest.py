@@ -7,11 +7,15 @@ share their output.  Scale is controlled with ``REPRO_BENCH_SCALE``
 the paper's absolute counts scale linearly, the percentages should not.
 
 Every bench prints its table (run pytest with ``-s`` to see them inline)
-and appends it to ``benchmarks/out/report.txt``.
+and appends it to ``benchmarks/out/report.txt``.  Throughput numbers are
+additionally collected via :func:`record_bench` and written once per
+session as machine-readable ``benchmarks/out/BENCH_campaign.json`` so CI
+can archive and trend them.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -61,6 +65,37 @@ def twoweek_world():
     testbed = Testbed(universe, seed=SEED + 5)
     result = ProbeCampaign(testbed, "TwoWeekMX").run()
     return universe, testbed, result
+
+
+#: Session-wide collected throughput records (see :func:`record_bench`).
+_BENCH_RECORDS: list = []
+
+
+def record_bench(name: str, ops_per_sec: float, workers: int = 1, **extra) -> None:
+    """Collect one machine-readable throughput record.
+
+    Written at session end to ``benchmarks/out/BENCH_campaign.json``:
+    one object per record with the bench name, achieved operations per
+    second, the worker count that produced it, and any extra fields the
+    bench cares to attach (universe scale, item counts, ...).
+    """
+    record = {"name": name, "ops_per_sec": ops_per_sec, "workers": workers}
+    record.update(extra)
+    _BENCH_RECORDS.append(record)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _BENCH_RECORDS:
+        return
+    _OUT_DIR.mkdir(exist_ok=True)
+    payload = {
+        "scale": SCALE,
+        "seed": SEED,
+        "cpu_count": os.cpu_count(),
+        "benches": _BENCH_RECORDS,
+    }
+    path = _OUT_DIR / "BENCH_campaign.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
 
 
 def emit(name: str, text: str) -> None:

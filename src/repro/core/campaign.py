@@ -18,15 +18,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Collection, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.datasets import Domain, MtaHost, Universe
+from repro.core.datasets import Domain, MtaHost, Universe, stable_hash64
 from repro.core.policies import POLICIES, policy_by_id
 from repro.core.preflight import preflight_policies
 from repro.core.probe import ProbeClient, ProbeResult
 from repro.core.querylog import AttributedQuery, QueryIndex, attribute_queries
 from repro.core.synth import SynthConfig, SynthesizingAuthority
-from repro.dkim.rsa import generate_keypair
+from repro.dkim.rsa import RsaKeyPair, generate_keypair
 from repro.dkim.sign import DkimSigner
 from repro.dns.rdata import AAAARecord, ARecord, MxRecord, PtrRecord, SoaRecord
 from repro.dns.resolver import AuthorityDirectory
@@ -67,13 +67,40 @@ def apply_reputation_effects(
             host.behavior.blacklist_rejection = "blacklist"
 
 
+def make_synth_config(seed: int) -> Tuple[RsaKeyPair, SynthConfig]:
+    """The (keypair, synthesizing-server config) a :class:`Testbed` with
+    ``seed`` would build.  Exposed so the shard-merge layer
+    (:mod:`repro.core.parallel`) can attribute worker query logs without
+    standing up a coordinator-side testbed of its own."""
+    keypair = generate_keypair(1024, seed=seed + 4242)
+    config = SynthConfig(
+        probe_ipv4=SENDER_IPV4,
+        probe_ipv6=SENDER_IPV6,
+        sender_ips=(SENDER_IPV4, SENDER_IPV6),
+        dkim_key_b64=keypair.public.to_base64(),
+    )
+    return keypair, config
+
+
 class Testbed:
-    """A fully wired simulated Internet for one universe."""
+    """A fully wired simulated Internet for one universe.
+
+    ``mta_filter`` restricts which MTA hosts get a deployed
+    :class:`~repro.mta.receiver.ReceivingMta` — shard workers pass their
+    shard's mtaid set so a K-way parallel run does not pay K full fleet
+    deployments.  DNS (the synthesizing server and the universe zone) is
+    always deployed in full: zone data is cheap, stateless, and identical
+    in every shard.
+    """
 
     __test__ = False  # not a pytest test class, despite the name
 
     def __init__(
-        self, universe: Universe, seed: int = 0, obs: Optional[Observability] = None
+        self,
+        universe: Universe,
+        seed: int = 0,
+        obs: Optional[Observability] = None,
+        mta_filter: Optional[Collection[str]] = None,
     ) -> None:
         self.universe = universe
         self.seed = seed
@@ -83,16 +110,11 @@ class Testbed:
         self.clock = Clock()
         self.network = Network(UniformLatency(0.004, 0.045, seed=seed), self.clock)
         self.directory = AuthorityDirectory()
-        self.keypair = generate_keypair(1024, seed=seed + 4242)
-        self.synth_config = SynthConfig(
-            probe_ipv4=SENDER_IPV4,
-            probe_ipv6=SENDER_IPV6,
-            sender_ips=(SENDER_IPV4, SENDER_IPV6),
-            dkim_key_b64=self.keypair.public.to_base64(),
-        )
+        self.keypair, self.synth_config = make_synth_config(seed)
         self.synth = SynthesizingAuthority(self.synth_config, obs=self.obs)
         self.synth.deploy(self.network, self.directory)
         self.receivers: Dict[str, ReceivingMta] = {}
+        self._mta_filter = frozenset(mta_filter) if mta_filter is not None else None
         self._deploy_universe_dns()
         self._deploy_receivers()
 
@@ -128,6 +150,8 @@ class Testbed:
 
     def _deploy_receivers(self) -> None:
         for host in self.universe.mtas:
+            if self._mta_filter is not None and host.mtaid not in self._mta_filter:
+                continue
             receiver = ReceivingMta(
                 host.hostname,
                 self.network,
@@ -147,6 +171,97 @@ class Testbed:
 
     def query_index(self) -> QueryIndex:
         return QueryIndex(self.attributed_queries())
+
+
+# -- schedules ------------------------------------------------------------
+#
+# A campaign is two separable things: a deterministic *schedule* (who is
+# contacted, when, in what order) and its *execution*.  Schedules are pure
+# functions of (universe, campaign parameters) — no testbed, no RNG state
+# left behind — so a shard worker can recompute the coordinator's schedule
+# bit-for-bit and execute just its own slice (repro.core.parallel), while
+# the serial path executes the whole thing.  Per-item start times are
+# explicit: item i never inherits timing from item i-1.
+
+
+@dataclass(frozen=True)
+class NotifyTask:
+    """One scheduled NotifyEmail delivery."""
+
+    domain: Domain
+    start_time: float
+
+
+@dataclass(frozen=True)
+class ProbeTask:
+    """One scheduled probe conversation series (one MTA, all testids)."""
+
+    host: MtaHost
+    rcpt_domain: str
+    start_time: float
+    order: Tuple[str, ...]  # testids, in probing order
+
+
+def notify_schedule(
+    domains: Sequence[Domain], spacing: float = 2.0, start_time: float = 0.0
+) -> List[NotifyTask]:
+    """One delivery per domain, ``spacing`` seconds apart."""
+    return [
+        NotifyTask(domain, start_time + position * spacing)
+        for position, domain in enumerate(domains)
+    ]
+
+
+def eligible_probe_mtas(universe: Universe) -> List[Tuple[MtaHost, str]]:
+    """(host, recipient_domain) pairs: every MTA with a usable address,
+    paired with one of the domains that designates it (Section 5.2).
+    Sorted by mtaid so downstream shuffles and ``limit_mtas`` slices are
+    reproducible whatever the dict/hash order of the universe."""
+    recipient: Dict[str, str] = {}
+    for domain in universe.domains:
+        if domain.resolution_failed:
+            continue
+        for host in domain.mta_hosts:
+            recipient.setdefault(host.mtaid, domain.name)
+    pairs = []
+    for host in universe.mtas:
+        if host.mtaid in recipient and (host.ipv4 or host.ipv6):
+            pairs.append((host, recipient[host.mtaid]))
+    pairs.sort(key=lambda pair: pair[0].mtaid)
+    return pairs
+
+
+def probe_schedule(
+    universe: Universe,
+    testids: Sequence[str],
+    seed: int = 0,
+    stagger: float = 1.0,
+    start_time: float = 0.0,
+    limit_mtas: Optional[int] = None,
+) -> List[ProbeTask]:
+    """The probe campaign's full schedule.
+
+    The MTA order is one seeded shuffle over the (sorted) eligible pairs
+    — Section 5.2's decorrelation of same-domain MTAs — sliced *after*
+    shuffling when ``limit_mtas`` is given.  Each MTA's per-policy order
+    comes from its own RNG, derived from ``(seed, mtaid)`` via a stable
+    hash: sequential draws from one shared stream would make an MTA's
+    order depend on every MTA scheduled before it, which is exactly what
+    a sharded run cannot reproduce.
+    """
+    rng = random.Random(seed)
+    pairs = eligible_probe_mtas(universe)
+    rng.shuffle(pairs)
+    if limit_mtas is not None:
+        pairs = pairs[:limit_mtas]
+    tasks = []
+    for position, (host, rcpt_domain) in enumerate(pairs):
+        order = list(testids)
+        random.Random(stable_hash64("%d|%s" % (seed, host.mtaid))).shuffle(order)
+        tasks.append(
+            ProbeTask(host, rcpt_domain, start_time + position * stagger, tuple(order))
+        )
+    return tasks
 
 
 @dataclass
@@ -194,16 +309,29 @@ class NotifyEmailCampaign:
             "To opt out of future notifications, reply to this message.\r\n",
         )
 
-    def run(self, domains: Optional[Sequence[Domain]] = None) -> NotifyEmailResult:
-        testbed = self.testbed
+    def schedule(self, domains: Optional[Sequence[Domain]] = None) -> List[NotifyTask]:
+        """The campaign's full schedule: one task per domain."""
         if domains is None:
-            domains = testbed.universe.domains
+            domains = self.testbed.universe.domains
+        return notify_schedule(domains, spacing=self.spacing, start_time=self.start_time)
+
+    def run(
+        self,
+        domains: Optional[Sequence[Domain]] = None,
+        schedule: Optional[Sequence[NotifyTask]] = None,
+    ) -> NotifyEmailResult:
+        """Execute ``schedule`` (default: the full schedule over
+        ``domains``).  Shard workers pass their slice of the coordinator's
+        schedule; start times ride along, so a task runs at the same
+        virtual instant whichever process executes it."""
+        testbed = self.testbed
+        tasks = schedule if schedule is not None else self.schedule(domains)
         deliveries: List[NotifyDelivery] = []
         obs = testbed.obs
-        t = self.start_time
         t_last = self.start_time
-        with obs.tracer.span("campaign.run", t, campaign="notifyemail") as span:
-            for domain in domains:
+        with obs.tracer.span("campaign.run", self.start_time, campaign="notifyemail") as span:
+            for task in tasks:
+                domain, t = task.domain, task.start_time
                 from_domain = "%s.%s" % (domain.domainid, testbed.synth_config.notify_suffix)
                 sender = SendingMta(
                     "probe.dns-lab.org",
@@ -228,7 +356,6 @@ class NotifyEmailCampaign:
                     t=t_done,
                 )
                 t_last = max(t_last, t_done)
-                t += self.spacing
             span.set(domains=len(deliveries))
             span.end(t_last)
         obs.metrics.gauge("campaign_domains", len(deliveries), (("campaign", "notifyemail"),))
@@ -285,53 +412,53 @@ class ProbeCampaign:
         )
 
     def eligible_mtas(self) -> List[Tuple[MtaHost, str]]:
-        """(host, recipient_domain) pairs: every MTA with a usable address,
-        paired with one of the domains that designates it (Section 5.2)."""
-        universe = self.testbed.universe
-        recipient: Dict[str, str] = {}
-        for domain in universe.domains:
-            if domain.resolution_failed:
-                continue
-            for host in domain.mta_hosts:
-                recipient.setdefault(host.mtaid, domain.name)
-        pairs = []
-        for host in universe.mtas:
-            if host.mtaid in recipient and (host.ipv4 or host.ipv6):
-                pairs.append((host, recipient[host.mtaid]))
-        return pairs
+        """See :func:`eligible_probe_mtas` (sorted by mtaid)."""
+        return eligible_probe_mtas(self.testbed.universe)
 
-    def run(self, limit_mtas: Optional[int] = None) -> ProbeCampaignResult:
-        rng = random.Random(self.seed)
-        pairs = self.eligible_mtas()
-        rng.shuffle(pairs)  # Section 5.2: decorrelate same-domain MTAs
-        if limit_mtas is not None:
-            pairs = pairs[:limit_mtas]
+    def schedule(self, limit_mtas: Optional[int] = None) -> List[ProbeTask]:
+        """The campaign's full schedule (see :func:`probe_schedule`)."""
+        return probe_schedule(
+            self.testbed.universe,
+            self.testids,
+            seed=self.seed,
+            stagger=self.stagger,
+            start_time=self.start_time,
+            limit_mtas=limit_mtas,
+        )
+
+    def run(
+        self,
+        limit_mtas: Optional[int] = None,
+        schedule: Optional[Sequence[ProbeTask]] = None,
+    ) -> ProbeCampaignResult:
+        """Execute ``schedule`` (default: the full schedule, optionally
+        limited to the first ``limit_mtas`` shuffled MTAs).  Each task
+        carries its own start time and per-policy order, so a shard
+        worker executing a slice reproduces the serial timing exactly."""
+        tasks = schedule if schedule is not None else self.schedule(limit_mtas)
         results: List[ProbeResult] = []
         probed: Dict[str, MtaHost] = {}
         recipients: Dict[str, str] = {}
         obs = self.testbed.obs
-        t_base = self.start_time
         t_last = self.start_time
-        with obs.tracer.span("campaign.run", t_base, campaign=self.name) as span:
-            for host, rcpt_domain in pairs:
+        with obs.tracer.span("campaign.run", self.start_time, campaign=self.name) as span:
+            for task in tasks:
+                host = task.host
                 probed[host.mtaid] = host
-                recipients[host.mtaid] = rcpt_domain
+                recipients[host.mtaid] = task.rcpt_domain
                 address = host.ipv4 or host.ipv6
-                t = t_base
-                order = list(self.testids)
-                rng.shuffle(order)
-                for testid in order:
-                    result, t = self.probe.probe(address, host.mtaid, testid, rcpt_domain, t)
+                t = task.start_time
+                for testid in task.order:
+                    result, t = self.probe.probe(address, host.mtaid, testid, task.rcpt_domain, t)
                     results.append(result)
                     obs.metrics.counter(
                         "campaign_probes_total", (("campaign", self.name),), t=t
                     )
                     t += self.probe.sleep_seconds
                 t_last = max(t_last, t)
-                t_base += self.stagger
             span.set(mtas=len(probed), probes=len(results))
             span.end(t_last)
-        obs.metrics.gauge("campaign_eligible_mtas", len(pairs), (("campaign", self.name),))
+        obs.metrics.gauge("campaign_eligible_mtas", len(tasks), (("campaign", self.name),))
         return ProbeCampaignResult(
             name=self.name,
             results=results,

@@ -1,0 +1,435 @@
+"""Sharded parallel campaign execution with a deterministic merge.
+
+The virtual-time testbed makes the paper's campaigns embarrassingly
+parallel, the same way large active-measurement systems (ZMap-style
+scan-out) get their throughput: partition the target population, run each
+partition independently, reduce deterministically.  Three facts make the
+partition exact rather than approximate:
+
+* **Virtual time.**  Every protocol API threads explicit timestamps, and
+  a campaign schedule (:func:`~repro.core.campaign.notify_schedule` /
+  :func:`~repro.core.campaign.probe_schedule`) assigns each task its
+  start instant up front — task *i* never inherits timing from task
+  *i-1*, so executing a subset executes it at identical instants.
+* **Path-pure latency.**  :class:`~repro.net.latency.UniformLatency`
+  derives each path's delay from ``(seed, path)`` alone, so every
+  shard's network times identical exchanges identically.
+* **Shard-local state.**  All mutable state lives in per-receiver
+  objects (resolver caches, greylists) or in per-delivery senders.
+  :func:`~repro.core.datasets.partition_universe` assigns probes by
+  mtaid and notify deliveries by provider pool, so each receiver's
+  entire workload lands in exactly one shard.
+
+Each worker process stands up a full :class:`~repro.core.campaign.
+Testbed` for the universe (receivers filtered to its shard), executes
+its slice of the coordinator's schedule, and ships back a picklable
+:class:`ShardResult`: campaign records, the raw synthesizing-server
+query log, a metrics snapshot, and span counts.  The merge layer
+(:func:`merge_shard_results`) reassembles outputs that are
+content-identical to a serial run — the same attributed-query multiset,
+the same analysis tables, the same tracecheck verdict — which
+``tests/test_core_parallel.py`` proves differentially for K ∈ {1, 2, 4}.
+
+Workers are spawn-safe: the worker entry point is a module-level
+function and everything it receives or returns pickles cleanly, so the
+engine works under any ``multiprocessing`` start method.  Span *objects*
+stay in the worker (only counts travel); span/query-log reconciliation
+can still run, per shard, inside each worker (``reconcile=True``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.campaign import (
+    NotifyDelivery,
+    NotifyEmailCampaign,
+    NotifyEmailResult,
+    NotifyTask,
+    ProbeCampaign,
+    ProbeCampaignResult,
+    ProbeTask,
+    Testbed,
+    make_synth_config,
+    notify_schedule,
+    probe_schedule,
+)
+from repro.core.datasets import MtaHost, Universe, UniverseShard, partition_universe
+from repro.core.policies import POLICIES, policy_by_id
+from repro.core.preflight import preflight_policies
+from repro.core.probe import ProbeResult
+from repro.core.querylog import QueryIndex, attribute_queries
+from repro.core.synth import SynthConfig
+from repro.dns.server import QueryLogEntry
+from repro.obs import NULL_OBS, Observability
+from repro.obs.metrics import MetricsRegistry
+
+_NOTIFY_CAMPAIGN = "notify"
+_PROBE_CAMPAIGN = "probe"
+
+
+@dataclass
+class ShardJob:
+    """Everything one worker needs, picklable under any start method.
+
+    The coordinator pre-slices its schedule, so a worker never recomputes
+    (or risks diverging from) the global ordering; task objects reference
+    the same domain/host objects as ``universe``, so the pickle graph
+    ships each object once.
+    """
+
+    campaign: str  # _NOTIFY_CAMPAIGN | _PROBE_CAMPAIGN
+    shard: UniverseShard
+    universe: Universe
+    tasks: Union[List[NotifyTask], List[ProbeTask]]
+    testbed_seed: int
+    obs_enabled: bool = True
+    reconcile: bool = False
+    # notify parameters
+    spacing: float = 2.0
+    start_time: float = 0.0
+    # probe parameters
+    name: str = ""
+    testids: Tuple[str, ...] = ()
+    campaign_seed: int = 0
+    sleep_seconds: float = 15.0
+    stagger: float = 1.0
+
+
+@dataclass
+class ShardResult:
+    """One worker's picklable output."""
+
+    index: int
+    deliveries: List[NotifyDelivery] = field(default_factory=list)
+    probe_results: List[ProbeResult] = field(default_factory=list)
+    raw_log: List[QueryLogEntry] = field(default_factory=list)
+    metrics: Optional[MetricsRegistry] = None
+    span_count: int = 0
+    #: Per-shard span/query-log reconciliation verdict (None if not run).
+    reconciled: Optional[bool] = None
+
+
+@dataclass
+class MergedCampaign:
+    """A sharded run's merged output — content-identical to a serial run.
+
+    ``raw_log`` is the union of the shard servers' query logs in
+    timestamp order; ``metrics`` is the shard registries merged with
+    campaign-global gauges restored; ``span_count`` sums the shards'
+    span tallies (span objects themselves never leave the workers).
+    """
+
+    result: Union[NotifyEmailResult, ProbeCampaignResult]
+    raw_log: List[QueryLogEntry]
+    synth_config: SynthConfig
+    metrics: Optional[MetricsRegistry]
+    span_count: int
+    shards: int
+    workers: int
+    #: False if any shard's span/query-log reconciliation failed;
+    #: None when reconciliation was not requested.
+    reconciled: Optional[bool] = None
+    #: Probe campaigns only: the coordinator's pre-flight audits.
+    preflight_audits: Dict[str, object] = field(default_factory=dict)
+
+
+def default_workers() -> int:
+    """The runner's default worker count: one per CPU."""
+    return os.cpu_count() or 1
+
+
+def run_shard(job: ShardJob) -> ShardResult:
+    """Worker entry point: build the shard's testbed, run its slice.
+
+    Module-level (importable by name) and argument/return picklable, so
+    it is valid under fork and spawn alike.
+    """
+    obs = Observability() if job.obs_enabled else NULL_OBS
+    if job.campaign == _NOTIFY_CAMPAIGN:
+        mta_filter = job.shard.notify_mtaids
+    else:
+        mta_filter = job.shard.mtaids
+    testbed = Testbed(job.universe, seed=job.testbed_seed, obs=obs, mta_filter=mta_filter)
+    result = ShardResult(index=job.shard.index)
+    if job.campaign == _NOTIFY_CAMPAIGN:
+        campaign = NotifyEmailCampaign(
+            testbed, spacing=job.spacing, start_time=job.start_time
+        )
+        result.deliveries = campaign.run(schedule=job.tasks).deliveries
+    elif job.campaign == _PROBE_CAMPAIGN:
+        probe_campaign = ProbeCampaign(
+            testbed,
+            job.name,
+            testids=job.testids,
+            sleep_seconds=job.sleep_seconds,
+            stagger=job.stagger,
+            start_time=job.start_time,
+            seed=job.campaign_seed,
+            preflight=False,  # the coordinator audited the policies once
+        )
+        result.probe_results = probe_campaign.run(schedule=job.tasks).results
+    else:
+        raise ValueError("unknown campaign kind: %r" % (job.campaign,))
+    result.raw_log = testbed.synth.query_log
+    if job.obs_enabled:
+        result.metrics = obs.metrics
+        result.span_count = len(obs.tracer.finished)
+        if job.reconcile:
+            from repro.obs.reconcile import reconcile_spans
+
+            verdict = reconcile_spans(
+                obs.tracer.finished, testbed.query_index(), testbed.synth_config
+            )
+            result.reconciled = verdict.matched
+    return result
+
+
+def _execute(jobs: List[ShardJob], workers: int, use_processes: bool) -> List[ShardResult]:
+    """Run every job, in shard order, with at most ``workers`` processes."""
+    if not jobs:
+        return []
+    if use_processes and workers > 1:
+        with multiprocessing.Pool(processes=min(workers, len(jobs))) as pool:
+            return pool.map(run_shard, jobs)
+    return [run_shard(job) for job in jobs]
+
+
+def merge_raw_logs(shard_logs: Sequence[Sequence[QueryLogEntry]]) -> List[QueryLogEntry]:
+    """The union of the shards' query logs in virtual-timestamp order.
+
+    A serial server's log is in *arrival* order, which only differs from
+    timestamp order for deferred work (post-delivery SPF checks); every
+    consumer (``QueryIndex``, tracecheck, the trace dumps) orders by
+    timestamp anyway, so the timestamp-sorted union is the canonical
+    form.  The sort is stable with ties broken by shard order; distinct
+    conversations get distinct continuous latencies, so cross-shard ties
+    do not occur in practice.
+    """
+    merged: List[QueryLogEntry] = []
+    for log in shard_logs:
+        merged.extend(log)
+    merged.sort(key=lambda entry: entry.timestamp)
+    return merged
+
+
+def _merge_metrics(
+    shard_results: Sequence[ShardResult], obs_enabled: bool
+) -> Optional[MetricsRegistry]:
+    if not obs_enabled:
+        return None
+    return MetricsRegistry.merged(
+        shard.metrics for shard in shard_results if shard.metrics is not None
+    )
+
+
+def _merged_reconciliation(shard_results: Sequence[ShardResult]) -> Optional[bool]:
+    verdicts = [shard.reconciled for shard in shard_results if shard.reconciled is not None]
+    if not verdicts:
+        return None
+    return all(verdicts)
+
+
+def merge_shard_results(
+    campaign: str,
+    schedule: Union[Sequence[NotifyTask], Sequence[ProbeTask]],
+    shard_results: Sequence[ShardResult],
+    synth_config: SynthConfig,
+    name: str = "",
+    obs_enabled: bool = True,
+) -> Tuple[Union[NotifyEmailResult, ProbeCampaignResult], List[QueryLogEntry], Optional[MetricsRegistry]]:
+    """Deterministic reduce: shard outputs → serial-identical objects.
+
+    Record lists are re-ordered to the coordinator's schedule (the order
+    the serial path would have produced them in), the raw logs merge by
+    timestamp, and the metrics registries merge with the campaign-global
+    gauges overwritten — shard workers each recorded their local slice
+    size, but the serial run records the global one.
+    """
+    raw_log = merge_raw_logs([shard.raw_log for shard in shard_results])
+    index = QueryIndex(attribute_queries(raw_log, synth_config))
+    metrics = _merge_metrics(shard_results, obs_enabled)
+    if campaign == _NOTIFY_CAMPAIGN:
+        by_domain: Dict[str, NotifyDelivery] = {}
+        for shard in shard_results:
+            for delivery in shard.deliveries:
+                by_domain[delivery.domain.domainid] = delivery
+        deliveries = [
+            by_domain[task.domain.domainid]
+            for task in schedule
+            if task.domain.domainid in by_domain
+        ]
+        if metrics is not None:
+            metrics.gauge("campaign_domains", len(deliveries), (("campaign", "notifyemail"),))
+        return NotifyEmailResult(deliveries, index), raw_log, metrics
+    by_pair: Dict[Tuple[str, str], ProbeResult] = {}
+    for shard in shard_results:
+        for probe in shard.probe_results:
+            by_pair[(probe.mtaid, probe.testid)] = probe
+    results: List[ProbeResult] = []
+    probed: Dict[str, MtaHost] = {}
+    recipients: Dict[str, str] = {}
+    for task in schedule:
+        probed[task.host.mtaid] = task.host
+        recipients[task.host.mtaid] = task.rcpt_domain
+        for testid in task.order:
+            probe = by_pair.get((task.host.mtaid, testid))
+            if probe is not None:
+                results.append(probe)
+    if metrics is not None:
+        metrics.gauge("campaign_eligible_mtas", len(schedule), (("campaign", name),))
+    merged = ProbeCampaignResult(
+        name=name,
+        results=results,
+        index=index,
+        probed=probed,
+        recipient_domain=recipients,
+    )
+    return merged, raw_log, metrics
+
+
+def run_notify_sharded(
+    universe: Universe,
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
+    testbed_seed: int = 0,
+    spacing: float = 2.0,
+    start_time: float = 0.0,
+    obs: bool = True,
+    reconcile: bool = False,
+    use_processes: bool = True,
+) -> MergedCampaign:
+    """The NotifyEmail campaign, sharded K ways over worker processes.
+
+    Produces deliveries, an attributed query index, and metrics
+    content-identical to ``NotifyEmailCampaign(Testbed(universe,
+    seed=testbed_seed)).run()``.
+    """
+    workers = workers if workers is not None else default_workers()
+    shards = shards if shards is not None else max(1, workers)
+    _, synth_config = make_synth_config(testbed_seed)
+    schedule = notify_schedule(universe.domains, spacing=spacing, start_time=start_time)
+    slices: Dict[int, List[NotifyTask]] = {}
+    partition = partition_universe(universe, shards)
+    for shard in partition:
+        slices[shard.index] = []
+    lookup = {}
+    for shard in partition:
+        for domainid in shard.domainids:
+            lookup[domainid] = shard.index
+    for task in schedule:
+        slices[lookup[task.domain.domainid]].append(task)
+    jobs = [
+        ShardJob(
+            campaign=_NOTIFY_CAMPAIGN,
+            shard=shard,
+            universe=universe,
+            tasks=slices[shard.index],
+            testbed_seed=testbed_seed,
+            obs_enabled=obs,
+            reconcile=reconcile,
+            spacing=spacing,
+            start_time=start_time,
+        )
+        for shard in partition
+        if slices[shard.index]
+    ]
+    shard_results = _execute(jobs, workers, use_processes)
+    result, raw_log, metrics = merge_shard_results(
+        _NOTIFY_CAMPAIGN, schedule, shard_results, synth_config, obs_enabled=obs
+    )
+    return MergedCampaign(
+        result=result,
+        raw_log=raw_log,
+        synth_config=synth_config,
+        metrics=metrics,
+        span_count=sum(shard.span_count for shard in shard_results),
+        shards=shards,
+        workers=workers,
+        reconciled=_merged_reconciliation(shard_results),
+    )
+
+
+def run_probe_sharded(
+    universe: Universe,
+    name: str,
+    testids: Optional[Sequence[str]] = None,
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
+    testbed_seed: int = 0,
+    campaign_seed: int = 0,
+    sleep_seconds: float = 15.0,
+    stagger: float = 1.0,
+    start_time: float = 0.0,
+    preflight: bool = True,
+    obs: bool = True,
+    reconcile: bool = False,
+    use_processes: bool = True,
+) -> MergedCampaign:
+    """The probe campaign (NotifyMX / TwoWeekMX), sharded K ways.
+
+    Produces results, an attributed query index, and metrics
+    content-identical to ``ProbeCampaign(Testbed(universe,
+    seed=testbed_seed), name, seed=campaign_seed, ...).run()``.
+    """
+    workers = workers if workers is not None else default_workers()
+    shards = shards if shards is not None else max(1, workers)
+    testid_list = tuple(testids) if testids is not None else tuple(p.testid for p in POLICIES)
+    audits = (
+        preflight_policies(policy_by_id(testid) for testid in testid_list)
+        if preflight
+        else {}
+    )
+    _, synth_config = make_synth_config(testbed_seed)
+    schedule = probe_schedule(
+        universe,
+        testid_list,
+        seed=campaign_seed,
+        stagger=stagger,
+        start_time=start_time,
+    )
+    partition = partition_universe(universe, shards)
+    slices: Dict[int, List[ProbeTask]] = {shard.index: [] for shard in partition}
+    lookup = {}
+    for shard in partition:
+        for mtaid in shard.mtaids:
+            lookup[mtaid] = shard.index
+    for task in schedule:
+        slices[lookup[task.host.mtaid]].append(task)
+    jobs = [
+        ShardJob(
+            campaign=_PROBE_CAMPAIGN,
+            shard=shard,
+            universe=universe,
+            tasks=slices[shard.index],
+            testbed_seed=testbed_seed,
+            obs_enabled=obs,
+            reconcile=reconcile,
+            name=name,
+            testids=testid_list,
+            campaign_seed=campaign_seed,
+            sleep_seconds=sleep_seconds,
+            stagger=stagger,
+            start_time=start_time,
+        )
+        for shard in partition
+        if slices[shard.index]
+    ]
+    shard_results = _execute(jobs, workers, use_processes)
+    result, raw_log, metrics = merge_shard_results(
+        _PROBE_CAMPAIGN, schedule, shard_results, synth_config, name=name, obs_enabled=obs
+    )
+    return MergedCampaign(
+        result=result,
+        raw_log=raw_log,
+        synth_config=synth_config,
+        metrics=metrics,
+        span_count=sum(shard.span_count for shard in shard_results),
+        shards=shards,
+        workers=workers,
+        reconciled=_merged_reconciliation(shard_results),
+        preflight_audits=audits,
+    )

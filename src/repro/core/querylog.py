@@ -10,8 +10,9 @@ analysis consumes.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field as dataclasses_field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.synth import SynthConfig
 from repro.dns.name import Name
@@ -143,6 +144,19 @@ class QueryIndex:
             self._by_mta.setdefault(query.mtaid, []).append(query)
             self._mtas_by_test.setdefault(query.testid, set()).add(query.mtaid)
             self._tests_by_mta.setdefault(query.mtaid, set()).add(query.testid)
+
+    @classmethod
+    def merge(cls, indexes: Sequence["QueryIndex"]) -> "QueryIndex":
+        """One index over the union of ``indexes``' queries.
+
+        Each input is already time-sorted (the constructor's invariant),
+        so this is a k-way sorted merge.  The result holds the same query
+        multiset as an index built over the concatenated raw logs: shard
+        workers and the serial path produce content-identical indexes
+        because attributed queries carry absolute virtual timestamps.
+        """
+        merged = heapq.merge(*(index.queries for index in indexes), key=lambda q: q.timestamp)
+        return cls(merged)
 
     def for_pair(self, mtaid: str, testid: str) -> List[AttributedQuery]:
         """Queries induced by one (MTA, test policy) pair, time-ordered."""

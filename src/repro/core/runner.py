@@ -17,6 +17,16 @@ observability pair ``<name>_metrics.txt`` / ``<name>_spans.jsonl``
 and ``notifymx`` share one testbed, the NotifyMX observability artefacts
 are cumulative over both campaigns; see ``OBSERVABILITY.md``.
 
+``--workers N`` (default: one per CPU) runs each campaign sharded over N
+worker processes via :mod:`repro.core.parallel`; ``--workers 1`` is the
+classic serial path.  The merge layer is deterministic, so every report,
+trace, tracecheck, and metrics artefact is identical whichever worker
+count produced it.  The one exception is ``<name>_spans.jsonl``: span
+*objects* stay inside the worker processes (each shard has its own
+``campaign.run`` root span), so parallel runs skip the span dump and
+instead reconcile spans against the query log per shard, inside each
+worker.
+
 A non-clean tracecheck or a span/query-log reconciliation mismatch means
 the harness, not a validator, misbehaved; the runner says so loudly but
 still writes every artefact.  All human-facing output flows through one
@@ -29,23 +39,34 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.core import analysis as A
 from repro.core import trace
 from repro.core.campaign import (
     NotifyEmailCampaign,
+    NotifyEmailResult,
     ProbeCampaign,
+    ProbeCampaignResult,
     Testbed,
     apply_reputation_effects,
 )
-from repro.core.datasets import DatasetSpec, generate_universe
+from repro.core.datasets import DatasetSpec, Universe, generate_universe
 from repro.core.fingerprint import fingerprint_fleet
+from repro.core.parallel import (
+    default_workers,
+    merge_raw_logs,
+    run_notify_sharded,
+    run_probe_sharded,
+)
 from repro.core.querylog import QueryIndex, attribute_queries_with_stats
 from repro.core.report import render_histogram
+from repro.core.synth import SynthConfig
+from repro.dns.server import QueryLogEntry
 from repro.lint.tracecheck import check_index
 from repro.obs import NULL_OBS, ProgressSink
 from repro.obs.export import render_metrics_text
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.reconcile import reconcile_spans
 from repro.obs.spans import save_spans
 
@@ -72,6 +93,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable metrics/span collection (skips the *_metrics.txt / *_spans.jsonl artefacts)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=default_workers(),
+        help="worker processes for sharded campaign execution "
+        "(default: one per CPU; 1 = serial)",
+    )
     return parser
 
 
@@ -93,32 +121,76 @@ def _make_testbed(args, universe, seed: int) -> Testbed:
     return Testbed(universe, seed=seed, obs=NULL_OBS if args.no_obs else None)
 
 
+# -- report section builders (shared by the serial and sharded paths) ----
+
+
+def _notifyemail_sections(universe: Universe, result: NotifyEmailResult) -> List[str]:
+    analysis = A.analyze_notify(result)
+    sections = [
+        A.validation_breakdown_table(analysis).render(),
+        A.spf_summary_table([A.notify_email_spf_row(universe, result, analysis)]).render(),
+        A.provider_table(analysis).render(),
+        A.alexa_table(universe, analysis).render(),
+    ]
+    timing = A.timing_analysis(result)
+    sections.append(
+        render_histogram(
+            timing.buckets,
+            title="Figure 2: t(SPF)-t(delivery), n=%d (negative %.0f%%, within30 %.0f%%)"
+            % (timing.domains_used, 100 * timing.negative_fraction, 100 * timing.within_30s_fraction),
+        )
+    )
+    return sections
+
+
+def _notifymx_sections(universe: Universe, probe_result: ProbeCampaignResult) -> List[str]:
+    sections = [
+        A.spf_summary_table([A.probe_spf_row("NotifyMX", universe, probe_result)]).render(),
+        A.behavior_table(A.behavior_stats(probe_result)).render(),
+        fingerprint_fleet(probe_result).to_table().render(),
+    ]
+    limits = A.lookup_limit_analysis(probe_result)
+    sections.append(
+        "Figure 5: %d MTAs; within 10 lookups %.0f%%; all 46 lookups %.0f%%"
+        % (limits.total, 100 * limits.within_limit_fraction, 100 * limits.ran_everything_fraction)
+    )
+    rejections = A.rejection_stats(probe_result)
+    sections.append(
+        "rejections: spam %d, blacklist %d, invalid recipient %d of %d MTAs"
+        % (rejections.spam, rejections.blacklist, rejections.invalid_recipient, rejections.total_mtas)
+    )
+    return sections
+
+
+def _twoweekmx_sections(universe: Universe, result: ProbeCampaignResult) -> List[str]:
+    rows = [A.probe_spf_row("TwoWeekMX (all)", universe, result)]
+    rows += A.decile_rows(universe, result)
+    table = A.spf_summary_table(rows)
+    mean, stdev = A.decile_consistency(rows[1:])
+    table.notes.append("decile domain-rate mean %.1f%%, stdev %.1f" % (mean, stdev))
+    return [
+        table.render(),
+        A.behavior_table(A.behavior_stats(result)).render(),
+    ]
+
+
 def _run_notify_family(args, wanted, sink: ProgressSink) -> None:
     sink.say("generating NotifyEmail universe (scale %.3f) ..." % args.scale)
     universe = generate_universe(DatasetSpec.notify_email(scale=args.scale), seed=args.seed)
+    if args.workers > 1:
+        _run_notify_family_sharded(args, wanted, sink, universe)
+        return
     testbed = _make_testbed(args, universe, seed=args.seed + 1)
 
     if "notifyemail" in wanted:
         sink.say("running NotifyEmail: one signed notification per domain ...")
         result = NotifyEmailCampaign(testbed).run()
-        analysis = A.analyze_notify(result)
-        sections = [
-            A.validation_breakdown_table(analysis).render(),
-            A.spf_summary_table([A.notify_email_spf_row(universe, result, analysis)]).render(),
-            A.provider_table(analysis).render(),
-            A.alexa_table(universe, analysis).render(),
-        ]
-        timing = A.timing_analysis(result)
-        sections.append(
-            render_histogram(
-                timing.buckets,
-                title="Figure 2: t(SPF)-t(delivery), n=%d (negative %.0f%%, within30 %.0f%%)"
-                % (timing.domains_used, 100 * timing.negative_fraction, 100 * timing.within_30s_fraction),
-            )
-        )
-        _write(args.out / "notifyemail_report.txt", sections)
+        _write(args.out / "notifyemail_report.txt", _notifyemail_sections(universe, result))
         trace.save_query_log(result.index.queries, args.out / "notifyemail_queries.jsonl")
-        _postflight(testbed, args.out / "notifyemail_tracecheck.txt", sink)
+        _postflight(
+            testbed.synth.query_log, testbed.synth_config,
+            args.out / "notifyemail_tracecheck.txt", sink,
+        )
         _write_obs(testbed, args.out, "notifyemail", sink)
         sink.say("  -> %s" % (args.out / "notifyemail_report.txt"))
 
@@ -126,59 +198,135 @@ def _run_notify_family(args, wanted, sink: ProgressSink) -> None:
         sink.say("running NotifyMX: probing the same MTAs with soured reputation ...")
         apply_reputation_effects(universe, seed=args.seed + 2)
         probe_result = ProbeCampaign(testbed, "NotifyMX", start_time=1e7, seed=args.seed).run()
-        sections = [
-            A.spf_summary_table([A.probe_spf_row("NotifyMX", universe, probe_result)]).render(),
-            A.behavior_table(A.behavior_stats(probe_result)).render(),
-            fingerprint_fleet(probe_result).to_table().render(),
-        ]
-        limits = A.lookup_limit_analysis(probe_result)
-        sections.append(
-            "Figure 5: %d MTAs; within 10 lookups %.0f%%; all 46 lookups %.0f%%"
-            % (limits.total, 100 * limits.within_limit_fraction, 100 * limits.ran_everything_fraction)
-        )
-        rejections = A.rejection_stats(probe_result)
-        sections.append(
-            "rejections: spam %d, blacklist %d, invalid recipient %d of %d MTAs"
-            % (rejections.spam, rejections.blacklist, rejections.invalid_recipient, rejections.total_mtas)
-        )
-        _write(args.out / "notifymx_report.txt", sections)
+        _write(args.out / "notifymx_report.txt", _notifymx_sections(universe, probe_result))
         trace.save_query_log(probe_result.index.queries, args.out / "notifymx_queries.jsonl")
         trace.save_probe_results(probe_result.results, args.out / "notifymx_probes.jsonl")
-        _postflight(testbed, args.out / "notifymx_tracecheck.txt", sink)
+        _postflight(
+            testbed.synth.query_log, testbed.synth_config,
+            args.out / "notifymx_tracecheck.txt", sink,
+        )
         _write_obs(testbed, args.out, "notifymx", sink)
+        sink.say("  -> %s" % (args.out / "notifymx_report.txt"))
+
+
+def _run_notify_family_sharded(args, wanted, sink: ProgressSink, universe: Universe) -> None:
+    """The notify family over worker processes.
+
+    Mirrors the serial path's cumulative-testbed semantics: the NotifyMX
+    artefacts (query trace, tracecheck, metrics) cover the union of both
+    campaigns' traffic, exactly as one shared testbed would have logged.
+    """
+    obs_enabled = not args.no_obs
+    notify_raw: List[QueryLogEntry] = []
+    notify_metrics: Optional[MetricsRegistry] = None
+
+    if "notifyemail" in wanted:
+        sink.say("running NotifyEmail over %d workers ..." % args.workers)
+        merged = run_notify_sharded(
+            universe,
+            workers=args.workers,
+            testbed_seed=args.seed + 1,
+            obs=obs_enabled,
+            reconcile=obs_enabled,
+        )
+        notify_raw = merged.raw_log
+        notify_metrics = merged.metrics
+        result = merged.result
+        assert isinstance(result, NotifyEmailResult)
+        _write(args.out / "notifyemail_report.txt", _notifyemail_sections(universe, result))
+        trace.save_query_log(result.index.queries, args.out / "notifyemail_queries.jsonl")
+        _postflight(
+            merged.raw_log, merged.synth_config,
+            args.out / "notifyemail_tracecheck.txt", sink,
+        )
+        _write_obs_merged(merged.metrics, merged.reconciled, args.out, "notifyemail", sink)
+        sink.say("  -> %s" % (args.out / "notifyemail_report.txt"))
+
+    if "notifymx" in wanted:
+        sink.say("running NotifyMX over %d workers ..." % args.workers)
+        apply_reputation_effects(universe, seed=args.seed + 2)
+        merged = run_probe_sharded(
+            universe,
+            "NotifyMX",
+            workers=args.workers,
+            testbed_seed=args.seed + 1,
+            campaign_seed=args.seed,
+            start_time=1e7,
+            obs=obs_enabled,
+            reconcile=obs_enabled,
+        )
+        probe_result = merged.result
+        assert isinstance(probe_result, ProbeCampaignResult)
+        # The serial path's NotifyMX artefacts are cumulative over the
+        # shared testbed; reproduce that from the phases' merged logs.
+        cumulative_raw = merge_raw_logs([notify_raw, merged.raw_log])
+        probe_result.index = _attributed_index(cumulative_raw, merged.synth_config)
+        cumulative_metrics = merged.metrics
+        if obs_enabled and notify_metrics is not None and merged.metrics is not None:
+            cumulative_metrics = MetricsRegistry.merged([notify_metrics, merged.metrics])
+        _write(args.out / "notifymx_report.txt", _notifymx_sections(universe, probe_result))
+        trace.save_query_log(probe_result.index.queries, args.out / "notifymx_queries.jsonl")
+        trace.save_probe_results(probe_result.results, args.out / "notifymx_probes.jsonl")
+        _postflight(
+            cumulative_raw, merged.synth_config, args.out / "notifymx_tracecheck.txt", sink
+        )
+        _write_obs_merged(cumulative_metrics, merged.reconciled, args.out, "notifymx", sink)
         sink.say("  -> %s" % (args.out / "notifymx_report.txt"))
 
 
 def _run_twoweekmx(args, sink: ProgressSink) -> None:
     sink.say("generating TwoWeekMX universe (scale %.3f) ..." % args.scale)
     universe = generate_universe(DatasetSpec.two_week_mx(scale=args.scale), seed=args.seed + 3)
+    if args.workers > 1:
+        sink.say("running TwoWeekMX probe campaign over %d workers ..." % args.workers)
+        obs_enabled = not args.no_obs
+        merged = run_probe_sharded(
+            universe,
+            "TwoWeekMX",
+            workers=args.workers,
+            testbed_seed=args.seed + 4,
+            campaign_seed=args.seed,
+            obs=obs_enabled,
+            reconcile=obs_enabled,
+        )
+        result = merged.result
+        assert isinstance(result, ProbeCampaignResult)
+        _write(args.out / "twoweekmx_report.txt", _twoweekmx_sections(universe, result))
+        trace.save_query_log(result.index.queries, args.out / "twoweekmx_queries.jsonl")
+        trace.save_probe_results(result.results, args.out / "twoweekmx_probes.jsonl")
+        _postflight(
+            merged.raw_log, merged.synth_config, args.out / "twoweekmx_tracecheck.txt", sink
+        )
+        _write_obs_merged(merged.metrics, merged.reconciled, args.out, "twoweekmx", sink)
+        sink.say("  -> %s" % (args.out / "twoweekmx_report.txt"))
+        return
     testbed = _make_testbed(args, universe, seed=args.seed + 4)
     sink.say("running TwoWeekMX probe campaign ...")
     result = ProbeCampaign(testbed, "TwoWeekMX", seed=args.seed).run()
-    rows = [A.probe_spf_row("TwoWeekMX (all)", universe, result)]
-    rows += A.decile_rows(universe, result)
-    table = A.spf_summary_table(rows)
-    mean, stdev = A.decile_consistency(rows[1:])
-    table.notes.append("decile domain-rate mean %.1f%%, stdev %.1f" % (mean, stdev))
-    sections = [
-        table.render(),
-        A.behavior_table(A.behavior_stats(result)).render(),
-    ]
-    _write(args.out / "twoweekmx_report.txt", sections)
+    _write(args.out / "twoweekmx_report.txt", _twoweekmx_sections(universe, result))
     trace.save_query_log(result.index.queries, args.out / "twoweekmx_queries.jsonl")
     trace.save_probe_results(result.results, args.out / "twoweekmx_probes.jsonl")
-    _postflight(testbed, args.out / "twoweekmx_tracecheck.txt", sink)
+    _postflight(
+        testbed.synth.query_log, testbed.synth_config,
+        args.out / "twoweekmx_tracecheck.txt", sink,
+    )
     _write_obs(testbed, args.out, "twoweekmx", sink)
     sink.say("  -> %s" % (args.out / "twoweekmx_report.txt"))
 
 
-def _postflight(testbed: Testbed, path: Path, sink: ProgressSink) -> None:
-    """Diff the testbed's cumulative query log against the policy
-    footprints; the written report is an artefact like any other."""
-    attributed, stats = attribute_queries_with_stats(
-        testbed.synth.query_log, testbed.synth_config
-    )
-    result = check_index(QueryIndex(attributed), config=testbed.synth_config, stats=stats)
+def _attributed_index(entries: Sequence[QueryLogEntry], config: SynthConfig) -> QueryIndex:
+    attributed, _ = attribute_queries_with_stats(entries, config)
+    return QueryIndex(attributed)
+
+
+def _postflight(
+    entries: Sequence[QueryLogEntry], config: SynthConfig, path: Path, sink: ProgressSink
+) -> None:
+    """Diff a raw query log against the policy footprints; the written
+    report is an artefact like any other.  Serial callers pass the
+    testbed's cumulative log, sharded callers the merged one."""
+    attributed, stats = attribute_queries_with_stats(entries, config)
+    result = check_index(QueryIndex(attributed), config=config, stats=stats)
     header = "tracecheck: %d queries over %d (mtaid, testid) pairs" % (
         result.queries_checked,
         result.pairs_checked,
@@ -205,6 +353,31 @@ def _write_obs(testbed: Testbed, out: Path, name: str, sink: ProgressSink) -> No
     verdict = reconcile_spans(obs.tracer.finished, testbed.query_index(), testbed.synth_config)
     if not verdict.matched:
         sink.warn("  !! span/query-log reconciliation mismatch:\n%s" % verdict.render_text())
+
+
+def _write_obs_merged(
+    metrics: Optional[MetricsRegistry],
+    reconciled: Optional[bool],
+    out: Path,
+    name: str,
+    sink: ProgressSink,
+) -> None:
+    """Export a sharded run's merged metrics (no-op under ``--no-obs``).
+
+    Span objects never left the worker processes, so there is no
+    ``<name>_spans.jsonl`` here; each worker instead reconciled its own
+    spans against its own query log, and ``reconciled`` reports the
+    conjunction of those per-shard verdicts."""
+    if metrics is None:
+        return
+    metrics_path = out / ("%s_metrics.txt" % name)
+    _write(metrics_path, [render_metrics_text(metrics, header="%s metrics" % name)])
+    sink.say(
+        "  -> %s (%d series); spans reconciled per shard, no span dump"
+        % (metrics_path, len(metrics))
+    )
+    if reconciled is False:
+        sink.warn("  !! span/query-log reconciliation mismatch in at least one shard")
 
 
 def _write(path: Path, sections: List[str]) -> None:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.policies import (
     NOTIFY_POLICY,
@@ -45,6 +45,15 @@ def _synth_labels(experiment: str, outcome: str) -> tuple:
     # Experiments and outcomes form a tiny closed set; memoizing keeps
     # the per-query hot path from rebuilding the same label tuples.
     return (("experiment", experiment), ("outcome", outcome))
+
+
+#: Sentinel distinguishing "not cached yet" from a cached parse failure.
+_UNSET = object()
+
+#: Bound on the per-server response cache.  Synthesis is a pure function
+#: of the query, so eviction (we simply clear) can never change an
+#: answer — only cost a recomputation.
+_CACHE_LIMIT = 65536
 
 
 @dataclass
@@ -80,6 +89,16 @@ class SynthesizingAuthority(AuthoritativeServer):
         self._notify_suffix = Name(self.config.notify_suffix)
         self.response_delay = self._policy_delay
         self.force_tcp_for = self._policy_force_tcp
+        # Per-query synthesis is pure (policies are static, the context is
+        # a function of the qname), but the server computes it up to three
+        # times per query: the delay hook, the force-TCP hook, and
+        # resolve() itself each re-parse and re-synthesize.  Campaign
+        # traffic also repeats names heavily (every validating MTA walks
+        # the same per-policy record graph), so memoize both stages.
+        # Name's hash/equality are case-insensitive and _parse lowercases,
+        # so DNS 0x20-randomized repeats of one name share an entry.
+        self._parse_cache: Dict[Name, object] = {}
+        self._answer_cache: Dict[Tuple[Name, RdataType], object] = {}
 
     # -- deployment ------------------------------------------------------
 
@@ -146,6 +165,38 @@ class SynthesizingAuthority(AuthoritativeServer):
             return NOTIFY_POLICY, sub, context
         return None
 
+    def _parse_cached(
+        self, qname: Name
+    ) -> Optional[Tuple[TestPolicy, Tuple[str, ...], PolicyContext]]:
+        cached = self._parse_cache.get(qname, _UNSET)
+        if cached is _UNSET:
+            if len(self._parse_cache) >= _CACHE_LIMIT:
+                self._parse_cache.clear()
+            cached = self._parse_cache[qname] = self._parse(qname)
+        return cached  # type: ignore[return-value]
+
+    def _respond(self, qname: Name, qtype: RdataType):
+        """The policy's (memoized) answer for ``(qname, qtype)``.
+
+        Returns ``None`` for names that do not parse.  Cached responses
+        are shared between queries — callers must treat the synthesized
+        records as immutable (they already do: responses are assembled
+        record-by-record and only ever read).
+        """
+        key = (qname, qtype)
+        cached = self._answer_cache.get(key, _UNSET)
+        if cached is _UNSET:
+            parsed = self._parse_cached(qname)
+            if parsed is None:
+                cached = None
+            else:
+                policy, sub, context = parsed
+                cached = policy.respond(sub, qtype, context)
+            if len(self._answer_cache) >= _CACHE_LIMIT:
+                self._answer_cache.clear()
+            self._answer_cache[key] = cached
+        return cached
+
     # -- server hooks ------------------------------------------------------
 
     def resolve(self, query: Message, transport: str, client_ip: str, t_arrival: float) -> Message:
@@ -171,13 +222,11 @@ class SynthesizingAuthority(AuthoritativeServer):
             response.answer.append(ResourceRecord(qname, self.config.ttl, soa))
             self._count_synth(experiment, "soa", t_arrival)
             return response
-        parsed = self._parse(qname)
-        if parsed is None:
+        synthesized = self._respond(qname, qtype)
+        if synthesized is None:
             self._negative(response, suffix, soa, nxdomain=True)
             self._count_synth(experiment, "nxdomain", t_arrival)
             return response
-        policy, sub, context = parsed
-        synthesized = policy.respond(sub, qtype, context)
         if synthesized.nxdomain:
             self._negative(response, suffix, soa, nxdomain=True)
             self._count_synth(experiment, "nxdomain", t_arrival)
@@ -225,11 +274,7 @@ class SynthesizingAuthority(AuthoritativeServer):
     # -- per-query options ----------------------------------------------
 
     def _policy_options(self, qname: Name, qtype: RdataType):
-        parsed = self._parse(qname)
-        if parsed is None:
-            return None
-        policy, sub, context = parsed
-        return policy.respond(sub, qtype, context)
+        return self._respond(qname, qtype)
 
     def _policy_delay(self, qname: Name, qtype: RdataType) -> float:
         synthesized = self._policy_options(qname, qtype)

@@ -10,6 +10,7 @@ controls the UDP 512-octet ceiling, and malformed input raises
 from __future__ import annotations
 
 import struct
+from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 from repro.dns.errors import WireError
@@ -40,6 +41,23 @@ _POINTER_MASK = 0xC0
 _MAX_POINTER_HOPS = 64
 
 
+@lru_cache(maxsize=8192)
+def _encoded_labels(labels: Tuple[str, ...]) -> Tuple[bytes, ...]:
+    """Each label as its wire chunk (length octet + ASCII octets).
+
+    Campaign traffic re-encodes the same few thousand names constantly
+    (suffixes on every query, MTA/test names on every retry), so the
+    per-label ``encode``/length work is memoized.  Keyed by the exact
+    ``Name.labels`` tuple — deliberately *not* by ``Name``, whose
+    equality is case-insensitive: DNS 0x20 case randomization must
+    round-trip byte-exactly.
+    """
+    return tuple(
+        bytes((len(encoded) & 0xFF,)) + encoded
+        for encoded in (label.encode("ascii") for label in labels)
+    )
+
+
 class _Encoder:
     """Accumulates output octets and tracks compression targets."""
 
@@ -63,6 +81,7 @@ class _Encoder:
         """Emit ``name``, using a compression pointer for any stored suffix."""
         labels = name.labels
         key = name.key
+        chunks = _encoded_labels(labels)
         for index in range(len(labels)):
             suffix_key = key[index:]
             if compress and suffix_key in self._offsets:
@@ -73,9 +92,7 @@ class _Encoder:
             # Pointers only address the first 16 KiB minus the two flag bits.
             if compress and offset < 0x4000:
                 self._offsets[suffix_key] = offset
-            label = labels[index].encode("ascii")
-            self.u8(len(label))
-            self.raw(label)
+            self.raw(chunks[index])
         self.u8(0)  # root label
 
     def character_string(self, text: str) -> None:

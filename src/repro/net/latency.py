@@ -6,15 +6,23 @@ orders whose separation is dominated by deliberately inserted server-side
 delays (100 ms / 800 ms), so any plausible RTT model preserves the result.
 
 Paths are keyed by the (source IP, destination IP) string pair.  A seeded
-:class:`UniformLatency` assigns each path a one-way delay drawn once from a
-uniform range and then frozen, so repeated exchanges over the same path see
-identical timing, as real persistent paths roughly do at these scales.
+:class:`UniformLatency` assigns each path a one-way delay that is a *pure
+function* of ``(seed, path)`` — derived from a stable hash, not drawn from
+a sequential RNG stream — so the delay a path sees does not depend on
+which other paths were exercised first.  That order-independence is what
+lets :mod:`repro.core.parallel` run disjoint shards of a campaign in
+separate worker processes and still reproduce the serial run's timing
+exactly: every shard's network computes identical delays for identical
+paths.
 """
 
 from __future__ import annotations
 
-import random
+import hashlib
 from typing import Dict, Tuple
+
+#: 2**64 as a float divisor, turning a 64-bit digest into [0, 1).
+_HASH_SPAN = float(1 << 64)
 
 
 class LatencyModel:
@@ -37,10 +45,12 @@ class LatencyModel:
 
 
 class UniformLatency(LatencyModel):
-    """Per-path one-way delays drawn once from ``[low, high]``.
+    """Per-path one-way delays uniform over ``[low, high)``.
 
-    Deterministic for a given seed; symmetric (the same delay is used in
-    both directions of a path).
+    Each path's delay is a pure function of ``(seed, path key)``:
+    deterministic for a given seed, symmetric (the same delay is used in
+    both directions of a path), and independent of the order in which
+    paths are first exercised.
     """
 
     def __init__(self, low: float = 0.005, high: float = 0.05, seed: int = 0) -> None:
@@ -49,7 +59,7 @@ class UniformLatency(LatencyModel):
         super().__init__(one_way=low)
         self._low = float(low)
         self._high = float(high)
-        self._rng = random.Random(seed)
+        self._seed = seed
         self._paths: Dict[Tuple[str, str], float] = {}
 
     def one_way_delay(self, src_ip: str, dst_ip: str) -> float:
@@ -58,6 +68,9 @@ class UniformLatency(LatencyModel):
         key = (src_ip, dst_ip) if src_ip <= dst_ip else (dst_ip, src_ip)
         delay = self._paths.get(key)
         if delay is None:
-            delay = self._rng.uniform(self._low, self._high)
+            text = "%r|%s|%s" % (self._seed, key[0], key[1])
+            digest = hashlib.blake2b(text.encode("ascii"), digest_size=8).digest()
+            fraction = int.from_bytes(digest, "big") / _HASH_SPAN
+            delay = self._low + (self._high - self._low) * fraction
             self._paths[key] = delay
         return delay

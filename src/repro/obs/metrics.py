@@ -63,6 +63,23 @@ class Histogram:
         self.total += value
         self.count += 1
 
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold ``other``'s observations into this histogram.
+
+        Requires identical bucket bounds: counts sum bucket-wise (exact),
+        ``total`` sums as floats (equal to a serial run's total up to
+        summation-order rounding).
+        """
+        if other.buckets != self.buckets:
+            raise ValueError(
+                "cannot merge histograms with different buckets: %r vs %r"
+                % (self.buckets, other.buckets)
+            )
+        for position, count in enumerate(other.counts):
+            self.counts[position] += count
+        self.total += other.total
+        self.count += other.count
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -163,6 +180,46 @@ class MetricsRegistry:
     def _stamp(self, t: Optional[float]) -> None:
         if t is not None and t > self.virtual_time:
             self.virtual_time = t
+
+    # -- merging ---------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other``'s series into this registry; returns ``self``.
+
+        The shard-merge contract (see ``OBSERVABILITY.md``): counters sum
+        per label set; histograms sum bucket-wise (identical bounds
+        required); gauges take the last writer in merge order, so callers
+        merging shard snapshots should overwrite campaign-global gauges
+        afterwards; ``virtual_time`` is the maximum.  Associative and,
+        gauges aside, commutative — a serial registry and any merge tree
+        over a sharded run's registries hold the same totals.
+        """
+        for name, series in other._counters.items():
+            mine = self._counters.setdefault(name, {})
+            for key, value in series.items():
+                mine[key] = mine.get(key, 0.0) + value
+        for name, series in other._gauges.items():
+            self._gauges.setdefault(name, {}).update(series)
+        for name, bounds in other._buckets.items():
+            self.declare_histogram(name, bounds)
+        for name, series in other._histograms.items():
+            mine = self._histograms.setdefault(name, {})
+            for key, histogram in series.items():
+                target = mine.get(key)
+                if target is None:
+                    target = mine[key] = Histogram(histogram.buckets)
+                target.merge_from(histogram)
+        if other.virtual_time > self.virtual_time:
+            self.virtual_time = other.virtual_time
+        return self
+
+    @classmethod
+    def merged(cls, registries: Iterable["MetricsRegistry"]) -> "MetricsRegistry":
+        """A fresh registry holding the merge of ``registries`` in order."""
+        result = cls()
+        for registry in registries:
+            result.merge(registry)
+        return result
 
     # -- reading ---------------------------------------------------------
 

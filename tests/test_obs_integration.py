@@ -65,8 +65,11 @@ class TestLiveCampaign:
 @pytest.fixture(scope="module")
 def runner_out(tmp_path_factory):
     out = tmp_path_factory.mktemp("runner_obs")
+    # --workers 1: span dumps are a serial-run artefact (parallel runs
+    # keep span objects inside their worker processes).
     code = main(
-        ["--experiment", "all", "--scale", "0.003", "--seed", "11", "--out", str(out), "--quiet"]
+        ["--experiment", "all", "--scale", "0.003", "--seed", "11", "--out", str(out),
+         "--quiet", "--workers", "1"]
     )
     assert code == 0
     return out
