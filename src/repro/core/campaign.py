@@ -35,6 +35,7 @@ from repro.dns.zone import Zone
 from repro.mta.receiver import ReceivingMta
 from repro.mta.sender import DeliveryRecord, SendingMta
 from repro.net.clock import Clock
+from repro.net.faults import FaultPlan
 from repro.net.latency import UniformLatency
 from repro.net.network import Network
 from repro.obs import Observability
@@ -101,17 +102,23 @@ class Testbed:
         seed: int = 0,
         obs: Optional[Observability] = None,
         mta_filter: Optional[Collection[str]] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.universe = universe
         self.seed = seed
         # Observability is on by default: one shared bundle per world so
         # spans nest across layers.  Pass ``repro.obs.NULL_OBS`` to opt out.
         self.obs = obs if obs is not None else Observability()
+        # One fault plan per world, threaded everywhere a fault can be
+        # injected; ``None`` keeps every layer on its no-op path.
+        self.faults = faults
+        if faults is not None:
+            faults.attach_obs(self.obs)
         self.clock = Clock()
-        self.network = Network(UniformLatency(0.004, 0.045, seed=seed), self.clock)
+        self.network = Network(UniformLatency(0.004, 0.045, seed=seed), self.clock, faults=faults)
         self.directory = AuthorityDirectory()
         self.keypair, self.synth_config = make_synth_config(seed)
-        self.synth = SynthesizingAuthority(self.synth_config, obs=self.obs)
+        self.synth = SynthesizingAuthority(self.synth_config, obs=self.obs, faults=faults)
         self.synth.deploy(self.network, self.directory)
         self.receivers: Dict[str, ReceivingMta] = {}
         self._mta_filter = frozenset(mta_filter) if mta_filter is not None else None
@@ -141,7 +148,7 @@ class Testbed:
         zone.add("probe.dns-lab.org", ARecord(SENDER_IPV4))
         zone.add("probe.dns-lab.org", AAAARecord(SENDER_IPV6))
         self.universe_zone = zone
-        server = AuthoritativeServer([zone], obs=self.obs)
+        server = AuthoritativeServer([zone], obs=self.obs, faults=self.faults)
         server.attach(self.network, UNIVERSE_DNS_IP)
         self.universe_dns = server
         # Root registration: the fallback for everything that is not one

@@ -64,6 +64,7 @@ from repro.core.probe import ProbeResult
 from repro.core.querylog import QueryIndex, attribute_queries
 from repro.core.synth import SynthConfig
 from repro.dns.server import QueryLogEntry
+from repro.net.faults import FaultPlan
 from repro.obs import NULL_OBS, Observability
 from repro.obs.metrics import MetricsRegistry
 
@@ -97,6 +98,12 @@ class ShardJob:
     campaign_seed: int = 0
     sleep_seconds: float = 15.0
     stagger: float = 1.0
+    # fault injection: the plan travels as (spec, seed) strings — each
+    # worker rebuilds an identical FaultPlan, and because plan decisions
+    # are pure functions of (seed, kind, endpoints, virtual time), every
+    # shard draws exactly what the serial run would.
+    faults_spec: str = ""
+    faults_seed: int = 0
 
 
 @dataclass
@@ -153,7 +160,10 @@ def run_shard(job: ShardJob) -> ShardResult:
         mta_filter = job.shard.notify_mtaids
     else:
         mta_filter = job.shard.mtaids
-    testbed = Testbed(job.universe, seed=job.testbed_seed, obs=obs, mta_filter=mta_filter)
+    faults = FaultPlan.parse(job.faults_spec, seed=job.faults_seed) if job.faults_spec else None
+    testbed = Testbed(
+        job.universe, seed=job.testbed_seed, obs=obs, mta_filter=mta_filter, faults=faults
+    )
     result = ShardResult(index=job.shard.index)
     if job.campaign == _NOTIFY_CAMPAIGN:
         campaign = NotifyEmailCampaign(
@@ -301,6 +311,8 @@ def run_notify_sharded(
     obs: bool = True,
     reconcile: bool = False,
     use_processes: bool = True,
+    faults_spec: str = "",
+    faults_seed: int = 0,
 ) -> MergedCampaign:
     """The NotifyEmail campaign, sharded K ways over worker processes.
 
@@ -333,6 +345,8 @@ def run_notify_sharded(
             reconcile=reconcile,
             spacing=spacing,
             start_time=start_time,
+            faults_spec=faults_spec,
+            faults_seed=faults_seed,
         )
         for shard in partition
         if slices[shard.index]
@@ -368,6 +382,8 @@ def run_probe_sharded(
     obs: bool = True,
     reconcile: bool = False,
     use_processes: bool = True,
+    faults_spec: str = "",
+    faults_seed: int = 0,
 ) -> MergedCampaign:
     """The probe campaign (NotifyMX / TwoWeekMX), sharded K ways.
 
@@ -414,6 +430,8 @@ def run_probe_sharded(
             sleep_seconds=sleep_seconds,
             stagger=stagger,
             start_time=start_time,
+            faults_spec=faults_spec,
+            faults_seed=faults_seed,
         )
         for shard in partition
         if slices[shard.index]

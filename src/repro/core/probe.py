@@ -130,6 +130,8 @@ class ProbeClient:
             result.error_text = str(exc)
             if exc.reply is not None:
                 result.replies.append(("banner", exc.reply.code, exc.reply.text))
+            if exc.t is not None:
+                t = exc.t
             result.t_finished = t
             return result, t
 
@@ -175,6 +177,8 @@ class ProbeClient:
         except SmtpClientError as exc:
             result.error_stage = result.stage_reached
             result.error_text = str(exc)
+            if exc.t is not None:
+                t = exc.t
         finally:
             # Always disconnect before any message data: the no-delivery
             # guarantee of Section 5.1.

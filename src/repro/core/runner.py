@@ -27,6 +27,14 @@ count produced it.  The one exception is ``<name>_spans.jsonl``: span
 instead reconcile spans against the query log per shard, inside each
 worker.
 
+``--faults SPEC`` threads a deterministic fault-injection plan
+(:mod:`repro.net.faults`) through every layer of the testbed; the plan's
+seed derives from ``--seed``, so a faulted run is as reproducible as a
+clean one — including across ``--workers`` counts.  ``--experiment
+faultmatrix`` instead replays the probe campaign under one canonical
+plan per fault kind and writes ``faultmatrix_report.txt``; it never runs
+as part of ``all``.
+
 A non-clean tracecheck or a span/query-log reconciliation mismatch means
 the harness, not a validator, misbehaved; the runner says so loudly but
 still writes every artefact.  All human-facing output flows through one
@@ -59,11 +67,13 @@ from repro.core.parallel import (
     run_notify_sharded,
     run_probe_sharded,
 )
+from repro.core.faultmatrix import FAULT_SCENARIOS, run_fault_matrix
 from repro.core.querylog import QueryIndex, attribute_queries_with_stats
 from repro.core.report import render_histogram
 from repro.core.synth import SynthConfig
 from repro.dns.server import QueryLogEntry
 from repro.lint.tracecheck import check_index
+from repro.net.faults import FaultPlan, derive_fault_seed
 from repro.obs import NULL_OBS, ProgressSink
 from repro.obs.export import render_metrics_text
 from repro.obs.metrics import MetricsRegistry
@@ -80,9 +90,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--experiment",
-        choices=EXPERIMENTS + ("all",),
+        choices=EXPERIMENTS + ("all", "faultmatrix"),
         default="all",
-        help="which experiment to run (default: all)",
+        help="which experiment to run (default: all; 'faultmatrix' replays the "
+        "probe under every fault kind and is never part of 'all')",
     )
     parser.add_argument("--scale", type=float, default=0.01, help="universe scale factor (default 0.01)")
     parser.add_argument("--seed", type=int, default=2021, help="master RNG seed")
@@ -100,14 +111,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for sharded campaign execution "
         "(default: one per CPU; 1 = serial)",
     )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="fault-injection plan: 'kind:prob[:param][@where],...' or a JSON "
+        "rule array (see repro.net.faults); seeded from --seed, identical "
+        "across worker counts.  An empty spec is a guaranteed no-op.",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     args.out.mkdir(parents=True, exist_ok=True)
-    wanted = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     sink = ProgressSink(quiet=args.quiet)
+    if args.experiment == "faultmatrix":
+        _run_faultmatrix(args, sink)
+        sink.say("all done in %.1f s -> %s" % (sink.elapsed(), args.out))
+        return 0
+    wanted = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
 
     if "notifyemail" in wanted or "notifymx" in wanted:
         _run_notify_family(args, wanted, sink)
@@ -117,8 +140,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def _make_faults(args) -> Optional[FaultPlan]:
+    """The run's fault plan, or ``None`` when ``--faults`` was absent.
+
+    The plan seed is derived from the master seed, so ``--seed`` stays
+    the single reproducibility knob; every worker process re-derives the
+    identical value from the same two strings."""
+    if args.faults is None:
+        return None
+    return FaultPlan.parse(args.faults, seed=derive_fault_seed(args.faults, args.seed))
+
+
+def _fault_shard_params(args) -> dict:
+    """``faults_spec``/``faults_seed`` keywords for the sharded runners.
+
+    The plan crosses the process boundary as two strings; each worker
+    rebuilds an identical plan, and the pure per-event hash draws make
+    its decisions match the serial path exactly."""
+    if not args.faults:
+        return {"faults_spec": "", "faults_seed": 0}
+    return {
+        "faults_spec": args.faults,
+        "faults_seed": derive_fault_seed(args.faults, args.seed),
+    }
+
+
 def _make_testbed(args, universe, seed: int) -> Testbed:
-    return Testbed(universe, seed=seed, obs=NULL_OBS if args.no_obs else None)
+    return Testbed(
+        universe,
+        seed=seed,
+        obs=NULL_OBS if args.no_obs else None,
+        faults=_make_faults(args),
+    )
 
 
 # -- report section builders (shared by the serial and sharded paths) ----
@@ -228,6 +281,7 @@ def _run_notify_family_sharded(args, wanted, sink: ProgressSink, universe: Unive
             testbed_seed=args.seed + 1,
             obs=obs_enabled,
             reconcile=obs_enabled,
+            **_fault_shard_params(args),
         )
         notify_raw = merged.raw_log
         notify_metrics = merged.metrics
@@ -254,6 +308,7 @@ def _run_notify_family_sharded(args, wanted, sink: ProgressSink, universe: Unive
             start_time=1e7,
             obs=obs_enabled,
             reconcile=obs_enabled,
+            **_fault_shard_params(args),
         )
         probe_result = merged.result
         assert isinstance(probe_result, ProbeCampaignResult)
@@ -288,6 +343,7 @@ def _run_twoweekmx(args, sink: ProgressSink) -> None:
             campaign_seed=args.seed,
             obs=obs_enabled,
             reconcile=obs_enabled,
+            **_fault_shard_params(args),
         )
         result = merged.result
         assert isinstance(result, ProbeCampaignResult)
@@ -312,6 +368,19 @@ def _run_twoweekmx(args, sink: ProgressSink) -> None:
     )
     _write_obs(testbed, args.out, "twoweekmx", sink)
     sink.say("  -> %s" % (args.out / "twoweekmx_report.txt"))
+
+
+def _run_faultmatrix(args, sink: ProgressSink) -> None:
+    """Replay the probe campaign under every canonical fault scenario
+    (see :mod:`repro.core.faultmatrix`) and write the summary table."""
+    if args.faults:
+        sink.warn("  !! --faults is ignored by faultmatrix (it runs its own scenario set)")
+    sink.say("generating fault-matrix universe (scale %.3f) ..." % args.scale)
+    universe = generate_universe(DatasetSpec.two_week_mx(scale=args.scale), seed=args.seed + 3)
+    sink.say("running the probe under %d fault scenarios ..." % len(FAULT_SCENARIOS))
+    matrix = run_fault_matrix(universe, seed=args.seed)
+    _write(args.out / "faultmatrix_report.txt", [matrix.to_table().render()])
+    sink.say("  -> %s" % (args.out / "faultmatrix_report.txt"))
 
 
 def _attributed_index(entries: Sequence[QueryLogEntry], config: SynthConfig) -> QueryIndex:

@@ -79,9 +79,12 @@ class SynthesizingAuthority(AuthoritativeServer):
     """Answers everything under its suffixes by synthesis."""
 
     def __init__(
-        self, config: Optional[SynthConfig] = None, obs: Optional[Observability] = None
+        self,
+        config: Optional[SynthConfig] = None,
+        obs: Optional[Observability] = None,
+        faults=None,
     ) -> None:
-        super().__init__(zones=[], obs=obs)
+        super().__init__(zones=[], obs=obs, faults=faults)
         self.config = config if config is not None else SynthConfig()
         self._policies = {policy.testid: policy for policy in self.config.policies}
         self._probe_suffix = Name(self.config.probe_suffix)

@@ -41,10 +41,14 @@ class TtlCache(Generic[V]):
     def put(self, name: Name, rdtype: RdataType, value: V, ttl: float, now: float) -> None:
         if ttl <= 0:
             return
-        if len(self._entries) >= self._max_entries:
+        key = (name.key, rdtype)
+        # Overwriting never grows the cache, so it must not evict: at
+        # capacity the oldest-expiry victim could be an unrelated live
+        # entry — or this very key.
+        if key not in self._entries and len(self._entries) >= self._max_entries:
             # Simple wholesale eviction of expired entries, then oldest-expiry.
             self._evict(now)
-        self._entries[(name.key, rdtype)] = (now + ttl, value)
+        self._entries[key] = (now + ttl, value)
 
     def _evict(self, now: float) -> None:
         expired = [key for key, (expiry, _) in self._entries.items() if expiry <= now]

@@ -26,8 +26,9 @@ from repro.dns.cache import TtlCache
 from repro.dns.message import Message
 from repro.dns.name import Name
 from repro.dns.rdata import Rcode, RdataType, ResourceRecord
-from repro.net.errors import NetError
+from repro.net.errors import ConnectionResetByPeer, NetError, PacketLost
 from repro.net.network import DNS_PORT, Network, is_ipv6
+from repro.net.retry import NO_RETRY, RetryPolicy
 from repro.obs import Observability, ensure_obs
 
 
@@ -121,6 +122,12 @@ class ResolverConfig:
     #: letter case and reject answers that fail to echo it — an
     #: anti-spoofing measure several large resolvers deploy.
     use_0x20: bool = False
+    #: Per-server retry policy: how many times the same server is tried
+    #: (with exponential virtual-time backoff between attempts) before
+    #: the resolver fails over to the next candidate.  The default — one
+    #: attempt, no backoff — matches historical behaviour exactly.  A
+    #: ``retry.timeout`` overrides :attr:`timeout` per try.
+    retry: RetryPolicy = NO_RETRY
 
 
 class AuthorityDirectory:
@@ -273,17 +280,41 @@ class Resolver:
             answer = Answer(name, rdtype, AnswerStatus.UNREACHABLE, rcode=Rcode.SERVFAIL)
             return answer, t_start
 
+        retry = self.config.retry
         t = t_start
         last_status = AnswerStatus.UNREACHABLE
+        last_answer: Optional[Answer] = None
+        give_up = False
         for src_ip, dst_ip in candidates:
-            answer, t_done, retryable = self._exchange(name, rdtype, src_ip, dst_ip, t)
-            if answer is not None:
-                if self.config.use_cache and not answer.status.is_error:
-                    self.cache.put(name, rdtype, answer, answer.min_ttl, t_done)
-                return answer, t_done
-            t = t_done
-            if not retryable:
-                last_status = AnswerStatus.TIMEOUT
+            for attempt in range(1, retry.attempts + 1):
+                t += retry.delay_before(attempt)
+                answer, t_done, failure_status, retryable = self._exchange(
+                    name, rdtype, src_ip, dst_ip, t
+                )
+                t = t_done
+                if answer is not None and not answer.status.is_error:
+                    if self.config.use_cache:
+                        self.cache.put(name, rdtype, answer, answer.min_ttl, t_done)
+                    return answer, t_done
+                # Graceful degradation: error rcodes and wire-level
+                # failures both feed failover (same server again per the
+                # retry policy, then the next candidate) instead of
+                # surfacing immediately.
+                if answer is not None:
+                    last_answer = answer
+                    last_status = answer.status
+                elif failure_status is not None:
+                    last_status = failure_status
+                if not retryable:
+                    # The retry_next_server contract: a non-retryable
+                    # failure (a server that answered, just too late or
+                    # unusably) means trying elsewhere cannot help.
+                    give_up = True
+                    break
+            if give_up:
+                break
+        if last_answer is not None:
+            return last_answer, t
         failure = Answer(name, rdtype, last_status, rcode=Rcode.SERVFAIL)
         return failure, t
 
@@ -307,12 +338,22 @@ class Resolver:
             pairs.extend((src, dst) for dst in dsts)
         return pairs
 
+    def _timeout(self) -> float:
+        retry_timeout = self.config.retry.timeout
+        return self.config.timeout if retry_timeout is None else retry_timeout
+
     def _exchange(
         self, name: Name, rdtype: RdataType, src_ip: str, dst_ip: str, t_send: float
-    ) -> Tuple[Optional[Answer], float, bool]:
+    ) -> Tuple[Optional[Answer], float, Optional[AnswerStatus], bool]:
         """One UDP exchange (plus optional TCP retry) with one server.
 
-        Returns ``(answer_or_None, t_done, retry_next_server)``.
+        Returns ``(answer_or_None, t_done, failure_status,
+        retry_next_server)``.  ``failure_status`` classifies answerless
+        failures into the :class:`AnswerStatus` taxonomy (``None`` when
+        an answer is present); ``retry_next_server`` is ``False`` when
+        trying another server cannot help (the server *answered*, just
+        too late or unusably), which per the contract stops the failover
+        loop.
         """
         msg_id = self._take_id()
         wire_name = self._randomize_case(name) if self.config.use_0x20 else name
@@ -321,6 +362,7 @@ class Resolver:
             edns_payload=self.config.edns_payload,
         )
         payload = wire.to_wire(query)
+        timeout = self._timeout()
         obs = self.obs
         with obs.tracer.span(
             "dns.exchange", t_send, qname=str(wire_name), qtype=rdtype.name,
@@ -328,47 +370,53 @@ class Resolver:
         ) as span:
             try:
                 reply_bytes, t_reply = self.network.udp_request(src_ip, dst_ip, DNS_PORT, payload, t_send)
+            except PacketLost:
+                # The datagram vanished; the caller only learns so by
+                # waiting out its own timeout, and — unlike a late reply
+                # from a live server — retrying is the right move.
+                span.set(outcome="lost").end(t_send + timeout)
+                return None, t_send + timeout, AnswerStatus.TIMEOUT, True
             except NetError:
                 span.set(outcome="neterror").end(t_send)
-                return None, t_send, True
+                return None, t_send, AnswerStatus.UNREACHABLE, True
             obs.metrics.counter("dns_client_exchanges_total", _UDP_LABELS, t=t_reply)
-            if t_reply - t_send > self.config.timeout:
+            if t_reply - t_send > timeout:
                 # The reply arrived after we gave up listening.
-                span.set(outcome="timeout").end(t_send + self.config.timeout)
-                return None, t_send + self.config.timeout, False
+                span.set(outcome="timeout").end(t_send + timeout)
+                return None, t_send + timeout, AnswerStatus.TIMEOUT, False
             try:
                 reply = wire.from_wire(reply_bytes)
             except Exception:
                 span.set(outcome="badreply").end(t_reply)
-                return None, t_reply, True
+                return None, t_reply, AnswerStatus.SERVFAIL, True
             if reply.msg_id != msg_id:
                 span.set(outcome="mismatch").end(t_reply)
-                return None, t_reply, True
+                return None, t_reply, AnswerStatus.SERVFAIL, True
             if self.config.use_0x20 and (
                 not reply.question or reply.question[0].name.labels != wire_name.labels
             ):
                 # The echoed question's case does not match what we sent —
                 # exactly what 0x20 exists to catch.  Treat as a spoof attempt.
                 span.set(outcome="0x20").end(t_reply)
-                return None, t_reply, True
+                return None, t_reply, AnswerStatus.SERVFAIL, True
             if reply.flags.tc:
                 if not self.config.tcp_fallback:
                     span.set(outcome="truncated", fallback=False).end(t_reply)
                     answer = Answer(
                         name, rdtype, AnswerStatus.SERVFAIL, rcode=Rcode.SERVFAIL, transport="udp", server_ip=dst_ip
                     )
-                    return answer, t_reply, False
+                    return answer, t_reply, None, False
                 span.set(outcome="truncated", fallback=True).end(t_reply)
                 obs.metrics.counter("dns_client_tcp_fallbacks_total", t=t_reply)
                 # Called inside the open span so the TCP retry nests as a
                 # child of the truncated UDP exchange.
                 return self._exchange_tcp(name, rdtype, src_ip, dst_ip, t_reply)
             span.set(outcome="ok").end(t_reply)
-            return self._interpret(reply, name, rdtype, "udp", dst_ip), t_reply, False
+            return self._interpret(reply, name, rdtype, "udp", dst_ip), t_reply, None, True
 
     def _exchange_tcp(
         self, name: Name, rdtype: RdataType, src_ip: str, dst_ip: str, t_start: float
-    ) -> Tuple[Optional[Answer], float, bool]:
+    ) -> Tuple[Optional[Answer], float, Optional[AnswerStatus], bool]:
         msg_id = self._take_id()
         query = Message.make_query(name, rdtype, msg_id=msg_id, recursion_desired=False)
         payload = wire.to_wire(query)
@@ -382,21 +430,25 @@ class Resolver:
                 channel = self.network.connect_tcp(src_ip, dst_ip, DNS_PORT, t_start)
                 reply_framed, t_reply = channel.request(framed, channel.t_established)
                 channel.close(t_reply)
+            except ConnectionResetByPeer as exc:
+                t_reset = exc.t if exc.t is not None else t_start
+                span.set(outcome="reset").end(t_reset)
+                return None, t_reset, AnswerStatus.SERVFAIL, True
             except NetError:
                 span.set(outcome="neterror").end(t_start)
-                return None, t_start, True
+                return None, t_start, AnswerStatus.UNREACHABLE, True
             obs.metrics.counter("dns_client_exchanges_total", _TCP_LABELS, t=t_reply)
             if reply_framed is None or len(reply_framed) < 2:
                 span.set(outcome="badreply").end(t_reply)
-                return None, t_reply, True
+                return None, t_reply, AnswerStatus.SERVFAIL, True
             (length,) = struct.unpack("!H", reply_framed[:2])
             try:
                 reply = wire.from_wire(reply_framed[2 : 2 + length])
             except Exception:
                 span.set(outcome="badreply").end(t_reply)
-                return None, t_reply, True
+                return None, t_reply, AnswerStatus.SERVFAIL, True
             span.set(outcome="ok").end(t_reply)
-            return self._interpret(reply, name, rdtype, "tcp", dst_ip), t_reply, False
+            return self._interpret(reply, name, rdtype, "tcp", dst_ip), t_reply, None, True
 
     def _interpret(self, reply: Message, name: Name, rdtype: RdataType, transport: str, server_ip: str) -> Answer:
         negative_ttl = 300.0

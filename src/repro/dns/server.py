@@ -23,6 +23,7 @@ from repro.dns.message import Message
 from repro.dns.name import Name
 from repro.dns.rdata import Rcode, RdataType
 from repro.dns.zone import LookupStatus, Zone
+from repro.net.faults import FaultKind, FaultPlan
 from repro.net.network import DNS_PORT, Network, is_ipv6
 from repro.obs import Observability, ensure_obs
 
@@ -32,6 +33,7 @@ _UDP_QUERY_LABELS = (("transport", "udp"),)
 _TCP_QUERY_LABELS = (("transport", "tcp"),)
 _TRUNCATED_FORCED = (("reason", "forced"),)
 _TRUNCATED_SIZE = (("reason", "size"),)
+_TRUNCATED_INJECTED = (("reason", "injected"),)
 _RCODE_LABELS: dict = {}
 
 
@@ -65,6 +67,12 @@ class AuthoritativeServer:
         Optional predicate ``(qname) -> bool``; matching queries get a
         truncated (TC=1, empty) response over UDP regardless of size,
         forcing well-behaved resolvers to retry over TCP.
+    faults:
+        Optional :class:`~repro.net.faults.FaultPlan` consulted for the
+        DNS-answer kinds (``truncate``, ``servfail``, ``refused``).
+        Injection happens *after* the query is logged: both witnesses —
+        the server's query log and the client's spans — agree the query
+        arrived, only its answer was sabotaged.
     """
 
     def __init__(
@@ -74,10 +82,12 @@ class AuthoritativeServer:
         force_tcp_for: Optional[Callable[[Name], bool]] = None,
         max_udp_payload: int = 1232,
         obs: Optional[Observability] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.zones: List[Zone] = list(zones) if zones else []
         self.response_delay = response_delay
         self.force_tcp_for = force_tcp_for
+        self.faults = faults
         self.obs = ensure_obs(obs)
         #: The largest UDP response this server will emit to an EDNS
         #: client, regardless of what the client advertises (RFC 6891).
@@ -179,7 +189,24 @@ class AuthoritativeServer:
             stub.flags.tc = True
             metrics.counter("dns_server_truncated_total", _TRUNCATED_FORCED, t=t_arrival)
             return wire.to_wire(stub), delay
-        response = self.resolve(query, transport, client_ip, t_arrival)
+        response = None
+        if self.faults is not None and qname is not None:
+            qname_text = str(qname)
+            if transport == "udp" and self.faults.inject(
+                FaultKind.TRUNCATE, client_ip, qname_text, t_arrival
+            ):
+                stub = query.make_response()
+                stub.flags.tc = True
+                metrics.counter("dns_server_truncated_total", _TRUNCATED_INJECTED, t=t_arrival)
+                return wire.to_wire(stub), delay
+            if self.faults.inject(FaultKind.SERVFAIL, client_ip, qname_text, t_arrival):
+                response = query.make_response()
+                response.flags.rcode = Rcode.SERVFAIL
+            elif self.faults.inject(FaultKind.REFUSED, client_ip, qname_text, t_arrival):
+                response = query.make_response()
+                response.flags.rcode = Rcode.REFUSED
+        if response is None:
+            response = self.resolve(query, transport, client_ip, t_arrival)
         rcode = response.rcode.name
         labels = _RCODE_LABELS.get(rcode)
         if labels is None:

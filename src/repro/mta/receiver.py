@@ -189,6 +189,7 @@ class _MtaSession(SmtpSession):
         super().__init__(client_ip, t_accept)
         self.mta = mta
         self.obs = mta.obs
+        self.faults = mta.network.faults
         self.banner_host = mta.hostname
         self._spf_done = False
         self._spf_result: Optional[SpfResult] = None

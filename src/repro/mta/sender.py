@@ -157,6 +157,10 @@ class SendingMta:
                     reply, t = self._deliver_once(message, sender, recipient, source, address, t)
                 except SmtpClientError as exc:
                     record.error = str(exc)
+                    if exc.t is not None:
+                        # The failure cost real (virtual) time — a reset
+                        # RTT, a banner deadline; bill it to the queue.
+                        t = exc.t
                     if exc.reply is not None:
                         record.reply = exc.reply
                         if exc.reply.is_transient_failure:
@@ -167,6 +171,12 @@ class SendingMta:
                             # not the host; further attempts are abusive.
                             self.log.append(record)
                             return record, t
+                        continue
+                    # No reply at all: a network-level failure (refused,
+                    # reset, missing banner).  The host may recover, so
+                    # treat it like a 4xx — try the next target now and
+                    # requeue if every target failed.
+                    transient_seen = True
                     continue
                 record.success = reply.code == 250
                 record.reply = reply
@@ -207,6 +217,6 @@ class SendingMta:
             reply, t = client.send_message(message, t)
             client.quit(t)
             return reply, t
-        except SmtpClientError:
-            client.abort(t)
+        except SmtpClientError as exc:
+            client.abort(exc.t if exc.t is not None else t)
             raise

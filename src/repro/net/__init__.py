@@ -11,21 +11,33 @@ real wall-clock delays.
 from repro.net.clock import Clock
 from repro.net.errors import (
     ConnectionRefused,
+    ConnectionResetByPeer,
     NetError,
+    PacketLost,
     PortInUse,
     Unreachable,
 )
+from repro.net.faults import FaultKind, FaultPlan, FaultRule, derive_fault_seed
 from repro.net.latency import LatencyModel, UniformLatency
 from repro.net.network import Network, TcpChannel
+from repro.net.retry import NO_RETRY, RetryPolicy
 
 __all__ = [
     "Clock",
     "ConnectionRefused",
+    "ConnectionResetByPeer",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
     "LatencyModel",
+    "NO_RETRY",
     "NetError",
     "Network",
+    "PacketLost",
     "PortInUse",
+    "RetryPolicy",
     "TcpChannel",
     "UniformLatency",
     "Unreachable",
+    "derive_fault_seed",
 ]

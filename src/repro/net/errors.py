@@ -1,8 +1,23 @@
-"""Error types raised by the virtual network."""
+"""Error types raised by the virtual network.
+
+Errors that correspond to an on-the-wire observation carry an optional
+``t`` attribute: the virtual time at which the *caller* learned the
+outcome (the RST or ICMP arrival), so retry and failover layers can
+advance their clocks by what the failure actually cost rather than
+guessing.  ``t`` is ``None`` when the failure was instantaneous and
+local (nothing was sent).
+"""
+
+from typing import Optional
 
 
 class NetError(Exception):
     """Base class for all virtual-network errors."""
+
+    def __init__(self, message: str, t: Optional[float] = None) -> None:
+        super().__init__(message)
+        #: Virtual time the caller observed the failure, when on-wire.
+        self.t = t
 
 
 class Unreachable(NetError):
@@ -16,6 +31,19 @@ class Unreachable(NetError):
 
 class ConnectionRefused(NetError):
     """The destination host exists but nothing listens on the port."""
+
+
+class PacketLost(NetError):
+    """An injected fault silently dropped the datagram.
+
+    The destination never saw it; the caller observes nothing until its
+    own timeout expires, which is why — unlike the other errors — ``t``
+    stays ``None``: only the caller knows how long it is willing to wait.
+    """
+
+
+class ConnectionResetByPeer(NetError):
+    """An established TCP connection was torn down mid-conversation."""
 
 
 class PortInUse(NetError):

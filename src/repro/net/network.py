@@ -28,7 +28,14 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.net.clock import Clock
-from repro.net.errors import ConnectionRefused, PortInUse, Unreachable
+from repro.net.errors import (
+    ConnectionRefused,
+    ConnectionResetByPeer,
+    PacketLost,
+    PortInUse,
+    Unreachable,
+)
+from repro.net.faults import FaultKind, FaultPlan
 from repro.net.latency import LatencyModel
 
 UdpHandler = Callable[[bytes, str, str, float], Tuple[bytes, float]]
@@ -54,11 +61,22 @@ class Network:
         A shared :class:`~repro.net.clock.Clock`.  The network never
         advances it; it is held here purely as a convenient rendezvous for
         components that need "now" as a default timestamp.
+    faults:
+        Optional :class:`~repro.net.faults.FaultPlan` consulted for the
+        transport-level kinds (``udp_loss``, ``udp_delay``,
+        ``tcp_refuse``, ``tcp_reset``).  ``None`` — the default — is a
+        guaranteed no-op.
     """
 
-    def __init__(self, latency: Optional[LatencyModel] = None, clock: Optional[Clock] = None) -> None:
+    def __init__(
+        self,
+        latency: Optional[LatencyModel] = None,
+        clock: Optional[Clock] = None,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
         self.latency = latency if latency is not None else LatencyModel()
         self.clock = clock if clock is not None else Clock()
+        self.faults = faults
         self._addresses: Set[str] = set()
         self._udp: Dict[Tuple[str, int], UdpHandler] = {}
         self._tcp: Dict[Tuple[str, int], Callable[[str, float], object]] = {}
@@ -112,14 +130,26 @@ class Network:
         (the real-world analogue is an ICMP port-unreachable).
         """
         handler = self._udp.get((dst_ip, port))
+        rtt = self.latency.rtt(src_ip, dst_ip)
         if handler is None:
             if dst_ip in self._addresses:
-                raise ConnectionRefused("udp %s:%d refused" % (dst_ip, port))
-            raise Unreachable("no route to %s" % dst_ip)
+                raise ConnectionRefused("udp %s:%d refused" % (dst_ip, port), t=t_send + rtt)
+            raise Unreachable("no route to %s" % dst_ip, t=t_send + rtt)
+        if self.faults is not None and self.faults.inject(
+            FaultKind.UDP_LOSS, src_ip, dst_ip, t_send, port
+        ):
+            # Dropped before delivery: the listener never sees the
+            # datagram, so server-side logs stay silent and the caller
+            # hears nothing until its own timeout.
+            raise PacketLost("udp %s -> %s:%d lost" % (src_ip, dst_ip, port))
         forward = self.latency.one_way_delay(src_ip, dst_ip)
         t_arrival = t_send + forward
         reply, delay = handler(payload, src_ip, "udp", t_arrival)
         t_reply = t_arrival + delay + self.latency.one_way_delay(dst_ip, src_ip)
+        if self.faults is not None:
+            rule = self.faults.inject(FaultKind.UDP_DELAY, src_ip, dst_ip, t_send, port)
+            if rule is not None:
+                t_reply += rule.param
         return reply, t_reply
 
     # -- TCP ------------------------------------------------------------
@@ -132,15 +162,29 @@ class Network:
         the server emits on accept.
         """
         factory = self._tcp.get((dst_ip, port))
+        rtt = self.latency.rtt(src_ip, dst_ip)
         if factory is None:
             if dst_ip in self._addresses:
-                raise ConnectionRefused("tcp %s:%d refused" % (dst_ip, port))
-            raise Unreachable("no route to %s" % dst_ip)
-        rtt = self.latency.rtt(src_ip, dst_ip)
+                raise ConnectionRefused("tcp %s:%d refused" % (dst_ip, port), t=t_connect + rtt)
+            raise Unreachable("no route to %s" % dst_ip, t=t_connect + rtt)
+        if self.faults is not None and self.faults.inject(
+            FaultKind.TCP_REFUSE, src_ip, dst_ip, t_connect, port
+        ):
+            # The SYN is answered with an RST: indistinguishable from an
+            # organic refusal to the caller, one RTT later.
+            raise ConnectionRefused(
+                "tcp %s:%d refused (injected rst)" % (dst_ip, port), t=t_connect + rtt
+            )
         t_accept = t_connect + self.latency.one_way_delay(src_ip, dst_ip)
         session = factory(src_ip, t_accept)
-        greeting = session.on_connect(t_accept)
-        t_established = t_connect + rtt
+        accepted = session.on_connect(t_accept)
+        if isinstance(accepted, tuple):
+            # Sessions may return ``(greeting, delay)`` to hold the
+            # greeting back (e.g. a delayed SMTP banner).
+            greeting, greeting_delay = accepted
+        else:
+            greeting, greeting_delay = accepted, 0.0
+        t_established = t_connect + rtt + greeting_delay
         return TcpChannel(self, src_ip, dst_ip, port, session, greeting, t_established)
 
 
@@ -184,6 +228,19 @@ class TcpChannel:
         if not self._open:
             raise ConnectionRefused("channel is closed")
         forward = self._network.latency.one_way_delay(self.src_ip, self.dst_ip)
+        faults = self._network.faults
+        if faults is not None and faults.inject(
+            FaultKind.TCP_RESET, self.src_ip, self.dst_ip, t_send, self.port
+        ):
+            # Reset mid-conversation, before this round reaches the
+            # server: the peer observes an abortive close, the caller an
+            # RST one round trip after sending.
+            self._open = False
+            self._session.on_close(t_send + forward)
+            raise ConnectionResetByPeer(
+                "tcp %s -> %s:%d reset" % (self.src_ip, self.dst_ip, self.port),
+                t=t_send + self._network.latency.rtt(self.src_ip, self.dst_ip),
+            )
         t_arrival = t_send + forward
         reply, delay = self._session.on_data(data, t_arrival)
         t_reply = t_arrival + delay + self._network.latency.one_way_delay(self.dst_ip, self.src_ip)

@@ -1,0 +1,62 @@
+"""Retry/backoff policies for protocol clients, in virtual time.
+
+A :class:`RetryPolicy` describes how many times a client is willing to
+attempt one operation against one peer and how long it waits between
+attempts.  Delays are **virtual** seconds — they advance the caller's
+explicit timestamp, never a wall clock — so a policy with aggressive
+backoff costs nothing to simulate.
+
+The defaults (one attempt, no backoff) reproduce the pre-fault-layer
+behaviour exactly; the byte-identity CI check rests on that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client retries one operation against one peer.
+
+    Parameters
+    ----------
+    attempts:
+        Total tries, including the first (``1`` = no retry).
+    backoff:
+        Virtual seconds to wait before the second attempt.
+    multiplier:
+        Exponential growth factor for subsequent waits, so attempt ``n``
+        (n ≥ 2) is preceded by ``backoff * multiplier ** (n - 2)``.
+    timeout:
+        Optional per-try timeout override in virtual seconds; ``None``
+        defers to the client's own configured timeout.
+    """
+
+    attempts: int = 1
+    backoff: float = 0.0
+    multiplier: float = 2.0
+    timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1, got %r" % (self.attempts,))
+        if self.backoff < 0:
+            raise ValueError("backoff must be non-negative, got %r" % (self.backoff,))
+        if self.multiplier <= 0:
+            raise ValueError("multiplier must be positive, got %r" % (self.multiplier,))
+
+    def delay_before(self, attempt: int) -> float:
+        """Virtual seconds to wait before ``attempt`` (1-based).
+
+        The first attempt starts immediately; later attempts back off
+        exponentially.
+        """
+        if attempt <= 1 or self.backoff == 0.0:
+            return 0.0
+        return self.backoff * self.multiplier ** (attempt - 2)
+
+
+#: The do-nothing policy: single attempt, matching historical behaviour.
+NO_RETRY = RetryPolicy()

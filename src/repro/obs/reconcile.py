@@ -16,8 +16,9 @@ counts against a server-side :class:`~repro.core.querylog.QueryIndex`.
 Any disagreement means an instrumentation layer, the network, or the
 attribution logic is lying about what happened — exactly the class of
 harness bug no analysis downstream could detect on its own.  Exchanges
-whose datagram never reached a server (``outcome=neterror``) are
-excluded: the server cannot have logged them.
+whose datagram never reached a server (``outcome=neterror``, or the
+injected-fault outcomes ``lost`` / ``reset``) are excluded: the server
+cannot have logged them.
 """
 
 from __future__ import annotations
@@ -90,7 +91,10 @@ def entries_from_spans(spans: Iterable[Span]) -> Tuple[List[QueryLogEntry], int]
     for span in spans:
         if span.name != "dns.exchange":
             continue
-        if span.attrs.get("outcome") == "neterror":
+        if span.attrs.get("outcome") in ("neterror", "lost", "reset"):
+            # The server never saw these: nothing was sent, the datagram
+            # was dropped in flight, or the connection died before the
+            # query crossed the wire.
             unsent += 1
             continue
         entries.append(

@@ -15,6 +15,7 @@ from typing import Optional, Tuple
 
 from repro.net.errors import NetError
 from repro.net.network import Network, SMTP_PORT, TcpChannel
+from repro.net.retry import RetryPolicy
 from repro.obs import Observability, ensure_obs
 from repro.smtp.errors import SmtpClientError
 from repro.smtp.message import EmailMessage
@@ -55,27 +56,79 @@ class SmtpClient:
         t_connect: float,
         port: int = SMTP_PORT,
         obs: Optional[Observability] = None,
+        retry: Optional[RetryPolicy] = None,
+        banner_timeout: Optional[float] = None,
     ) -> Tuple["SmtpClient", float]:
         """Open a connection; returns the client and the time the banner
         finished arriving.  Raises :class:`SmtpClientError` when the server
-        refuses the connection or greets with a failure code."""
+        refuses the connection or greets with a failure code.
+
+        ``retry`` re-dials per its attempts/backoff schedule (in virtual
+        time) before giving up; ``banner_timeout`` bounds how long the
+        client waits for the 220 banner — a banner that would arrive
+        later (or never) is a ``nobanner`` failure at
+        ``t_connect + banner_timeout``.  Both default to the historical
+        single-attempt, wait-forever behaviour.
+        """
         obs = ensure_obs(obs)
+        attempts = retry.attempts if retry is not None else 1
+        t = t_connect
+        for attempt in range(1, attempts + 1):
+            if retry is not None:
+                t += retry.delay_before(attempt)
+            try:
+                return cls._connect_once(network, src_ip, dst_ip, t, port, obs, banner_timeout)
+            except SmtpClientError as exc:
+                if attempt == attempts:
+                    raise
+                if exc.t is not None:
+                    t = exc.t
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    @classmethod
+    def _connect_once(
+        cls,
+        network: Network,
+        src_ip: str,
+        dst_ip: str,
+        t_connect: float,
+        port: int,
+        obs: Observability,
+        banner_timeout: Optional[float],
+    ) -> Tuple["SmtpClient", float]:
         metrics = obs.metrics
         try:
             channel = network.connect_tcp(src_ip, dst_ip, port, t_connect)
         except NetError as exc:
-            metrics.counter("smtp_client_connects_total", (("outcome", "refused"),), t=t_connect)
-            raise SmtpClientError("connect failed: %s" % exc) from exc
-        if channel.greeting is None:
-            metrics.counter("smtp_client_connects_total", (("outcome", "nobanner"),), t=t_connect)
-            raise SmtpClientError("no SMTP banner")
+            # Stamp every outcome with the time it was *known*: for a
+            # refusal that is the RST arrival the network reported, not
+            # the dial time.
+            t_refused = exc.t if exc.t is not None else t_connect
+            metrics.counter("smtp_client_connects_total", (("outcome", "refused"),), t=t_refused)
+            raise SmtpClientError("connect failed: %s" % exc, t=t_refused) from exc
+        banner_deadline = None
+        if banner_timeout is not None:
+            banner_deadline = t_connect + banner_timeout
+        if channel.greeting is None or (
+            banner_deadline is not None and channel.t_established > banner_deadline
+        ):
+            # Either the server never sends a banner or it would arrive
+            # after we stopped listening; both are known only once the
+            # client has waited out its deadline (with no deadline, once
+            # the silent accept completed).
+            t_nobanner = banner_deadline if banner_deadline is not None else channel.t_established
+            channel.close(t_nobanner)
+            metrics.counter("smtp_client_connects_total", (("outcome", "nobanner"),), t=t_nobanner)
+            raise SmtpClientError("no SMTP banner", t=t_nobanner)
         greeting = Reply.from_bytes(channel.greeting)
         client = cls(channel, greeting, obs=obs)
         if not greeting.is_success:
             metrics.counter(
                 "smtp_client_connects_total", (("outcome", "unfriendly"),), t=channel.t_established
             )
-            raise SmtpClientError("unfriendly banner: %s" % greeting.text, greeting)
+            raise SmtpClientError(
+                "unfriendly banner: %s" % greeting.text, greeting, t=channel.t_established
+            )
         metrics.counter("smtp_client_connects_total", (("outcome", "ok"),), t=channel.t_established)
         return client, channel.t_established
 
@@ -87,9 +140,16 @@ class SmtpClient:
         obs = self.obs
         with obs.tracer.span("smtp.command", t_send, command=verb) as span:
             data = (line + CRLF).encode("utf-8")
-            raw, t_reply = self.channel.request(data, t_send)
+            try:
+                raw, t_reply = self.channel.request(data, t_send)
+            except NetError as exc:
+                t_lost = exc.t if exc.t is not None else t_send
+                span.set(error=str(exc)).end(t_lost)
+                raise SmtpClientError(
+                    "connection lost after %r: %s" % (line, exc), t=t_lost
+                ) from exc
             if raw is None:
-                raise SmtpClientError("server closed or stayed silent after %r" % line)
+                raise SmtpClientError("server closed or stayed silent after %r" % line, t=t_reply)
             reply = Reply.from_bytes(raw)
             span.set(code=reply.code)
             span.end(t_reply)
@@ -133,9 +193,14 @@ class SmtpClient:
         data = (body + CRLF + "." + CRLF).encode("utf-8")
         obs = self.obs
         with obs.tracer.span("smtp.command", t, command="MESSAGE", bytes=len(data)) as span:
-            raw, t_reply = self.channel.request(data, t)
+            try:
+                raw, t_reply = self.channel.request(data, t)
+            except NetError as exc:
+                t_lost = exc.t if exc.t is not None else t
+                span.set(error=str(exc)).end(t_lost)
+                raise SmtpClientError("connection lost mid-message: %s" % exc, t=t_lost) from exc
             if raw is None:
-                raise SmtpClientError("no reply to message data")
+                raise SmtpClientError("no reply to message data", t=t_reply)
             reply = Reply.from_bytes(raw)
             span.set(code=reply.code)
             span.end(t_reply)

@@ -12,9 +12,13 @@ class SmtpProtocolError(SmtpError):
 class SmtpClientError(SmtpError):
     """The client received an unexpected or error reply.
 
-    Carries the :class:`~repro.smtp.protocol.Reply` when one was parsed.
+    Carries the :class:`~repro.smtp.protocol.Reply` when one was parsed,
+    and ``t`` — the virtual time the failure was known — when the error
+    corresponds to an on-the-wire observation, so callers can advance
+    their clocks by what the failure actually cost.
     """
 
-    def __init__(self, message: str, reply=None) -> None:
+    def __init__(self, message: str, reply=None, t=None) -> None:
         super().__init__(message)
         self.reply = reply
+        self.t = t

@@ -13,6 +13,7 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Callable, List, Optional, Tuple
 
+from repro.net.faults import FaultKind
 from repro.net.network import Network, SMTP_PORT
 from repro.obs import NULL_OBS
 from repro.smtp.errors import SmtpProtocolError
@@ -50,6 +51,10 @@ class SmtpSession:
     #: Observability bundle; subclasses bound to an instrumented MTA
     #: overwrite this per instance with the testbed-wide bundle.
     obs = NULL_OBS
+    #: Optional :class:`~repro.net.faults.FaultPlan` for the banner
+    #: kinds; receiving MTAs overwrite this per instance from their
+    #: network, the same way ``obs`` is threaded.
+    faults = None
 
     def __init__(self, client_ip: str, t_accept: float) -> None:
         self.client_ip = client_ip
@@ -65,8 +70,19 @@ class SmtpSession:
 
     # -- TCP session duck-type ------------------------------------------
 
-    def on_connect(self, t: float) -> bytes:
+    def on_connect(self, t: float):
         self.obs.metrics.counter("smtp_server_sessions_total", t=t)
+        if self.faults is not None:
+            if self.faults.inject(FaultKind.BANNER_ABSENT, self.client_ip, self.banner_host, t):
+                # Accept silently and never greet; the client gives up
+                # per its banner timeout.
+                return None
+            rule = self.faults.inject(
+                FaultKind.BANNER_DELAY, self.client_ip, self.banner_host, t
+            )
+            if rule is not None:
+                reply, _ = self.on_banner(t + rule.param)
+                return reply.to_bytes(), rule.param
         reply, _ = self.on_banner(t)
         return reply.to_bytes()
 

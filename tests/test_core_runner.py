@@ -16,6 +16,10 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--experiment", "bogus"])
 
+    def test_faults_default_absent(self):
+        args = build_parser().parse_args([])
+        assert args.faults is None
+
 
 class TestRunner:
     def test_twoweekmx_run(self, tmp_path):
@@ -65,3 +69,51 @@ class TestRunner:
         a = (tmp_path / "a" / "twoweekmx_report.txt").read_text()
         b = (tmp_path / "b" / "twoweekmx_report.txt").read_text()
         assert a == b
+
+
+class TestFaults:
+    ARTEFACTS = (
+        "twoweekmx_report.txt",
+        "twoweekmx_queries.jsonl",
+        "twoweekmx_probes.jsonl",
+        "twoweekmx_tracecheck.txt",
+        "twoweekmx_metrics.txt",
+    )
+
+    def _run(self, tmp_path, name, *extra):
+        out = tmp_path / name
+        code = main([
+            "--experiment", "twoweekmx", "--scale", "0.003",
+            "--seed", "42", "--out", str(out), "--quiet", *extra,
+        ])
+        assert code == 0
+        return out
+
+    def test_empty_plan_is_byte_identical(self, tmp_path):
+        # The differential invariant: an empty FaultPlan threaded through
+        # every layer must change no artefact at all.
+        plain = self._run(tmp_path, "plain", "--workers", "1")
+        empty = self._run(tmp_path, "empty", "--workers", "1", "--faults", "")
+        for artefact in self.ARTEFACTS:
+            assert (plain / artefact).read_bytes() == (empty / artefact).read_bytes()
+
+    def test_faulted_run_identical_across_worker_counts(self, tmp_path):
+        spec = "udp_loss:0.1,servfail:0.05"
+        serial = self._run(tmp_path, "serial", "--workers", "1", "--faults", spec)
+        sharded = self._run(tmp_path, "sharded", "--workers", "4", "--faults", spec)
+        for artefact in self.ARTEFACTS:
+            assert (serial / artefact).read_bytes() == (sharded / artefact).read_bytes()
+        metrics = (serial / "twoweekmx_metrics.txt").read_text()
+        assert "faults_injected_total{kind=udp_loss}" in metrics
+        assert "faults_injected_total{kind=servfail}" in metrics
+
+    def test_faultmatrix_experiment(self, tmp_path):
+        code = main([
+            "--experiment", "faultmatrix", "--scale", "0.001",
+            "--seed", "42", "--out", str(tmp_path), "--quiet",
+        ])
+        assert code == 0
+        report = (tmp_path / "faultmatrix_report.txt").read_text()
+        assert "Fault matrix" in report
+        assert "baseline" in report
+        assert "banner_absent" in report

@@ -119,6 +119,29 @@ class TestCacheEviction:
         )
         assert survivors >= 4
 
+    def test_overwrite_at_capacity_does_not_evict(self):
+        # Regression: refreshing an existing key never grows the cache,
+        # so it must not trigger eviction — the oldest-expiry victim
+        # could be an unrelated live entry (or the refreshed key itself).
+        cache = TtlCache(max_entries=3)
+        for index in range(3):
+            cache.put(Name("n%d.test" % index), RdataType.A, index, ttl=100.0 + index, now=0.0)
+        cache.put(Name("n0.test"), RdataType.A, "fresh", ttl=500.0, now=1.0)
+        assert len(cache) == 3
+        for index in range(1, 3):
+            assert cache.get(Name("n%d.test" % index), RdataType.A, 2.0) is not None
+        assert cache.get(Name("n0.test"), RdataType.A, 2.0) == "fresh"
+
+    def test_insert_at_capacity_still_evicts(self):
+        cache = TtlCache(max_entries=3)
+        for index in range(3):
+            cache.put(Name("n%d.test" % index), RdataType.A, index, ttl=100.0 + index, now=0.0)
+        cache.put(Name("new.test"), RdataType.A, "v", ttl=500.0, now=1.0)
+        assert len(cache) <= 3
+        assert cache.get(Name("new.test"), RdataType.A, 2.0) == "v"
+        # The oldest-expiry entry (n0) was the victim.
+        assert cache.get(Name("n0.test"), RdataType.A, 2.0) is None
+
     def test_hit_miss_counters(self):
         cache = TtlCache()
         name = Name("counted.test")
